@@ -1,0 +1,81 @@
+"""Throughput benchmarks of the reproduction's own components.
+
+These are conventional pytest-benchmark microbenchmarks (many rounds) for
+the pieces whose speed bounds how large an experiment the harness can run:
+the functional interpreter, profile collection, convergent formation, the
+scalar optimizer, and the timing model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convergent import form_module
+from repro.opt.local import optimize_block
+from repro.profiles import collect_profile
+from repro.sim import run_module
+from repro.sim.timing import simulate_cycles
+from repro.workloads.microbench import MICROBENCHMARKS
+
+
+def _workload(name):
+    wl = MICROBENCHMARKS[name]
+    return wl, {k: list(v) for k, v in wl.preload.items()}
+
+
+def test_interpreter_throughput(benchmark):
+    wl, preload = _workload("matrix_1")
+    module = wl.module()
+    stats = benchmark(
+        lambda: run_module(
+            module, args=wl.args, preload={k: list(v) for k, v in preload.items()}
+        )[1]
+    )
+    benchmark.extra_info["dynamic_instructions"] = stats.instrs_executed
+
+
+def test_profile_collection(benchmark):
+    wl, preload = _workload("matrix_1")
+    module = wl.module()
+    benchmark(
+        lambda: collect_profile(
+            module.copy(), args=wl.args,
+            preload={k: list(v) for k, v in preload.items()},
+        )
+    )
+
+
+def test_convergent_formation(benchmark):
+    wl, preload = _workload("matrix_1")
+    base = wl.module()
+    profile = collect_profile(
+        base.copy(), args=wl.args,
+        preload={k: list(v) for k, v in preload.items()},
+    )
+    benchmark(lambda: form_module(base.copy(), profile=profile))
+
+
+def test_timing_simulation(benchmark):
+    wl, preload = _workload("matrix_1")
+    module = wl.module()
+    stats = benchmark(
+        lambda: simulate_cycles(
+            module, args=wl.args,
+            preload={k: list(v) for k, v in preload.items()},
+        )
+    )
+    benchmark.extra_info["cycles"] = stats.cycles
+
+
+def test_optimizer_throughput(benchmark):
+    wl, _ = _workload("dct8x8")
+    module = wl.module()
+    func = module.function("main")
+    big = max(func.blocks.values(), key=len)
+
+    def run():
+        block = big.copy(big.name)
+        optimize_block(block, live_out=set())
+        return block
+
+    benchmark(run)

@@ -1,0 +1,31 @@
+"""Regenerates Figure 7: cycle-count reduction vs block-count reduction.
+
+Paper shape being checked: an approximately linear relationship with a
+clearly positive slope (the paper fits r^2 = 0.78 and uses the correlation
+to justify measuring SPEC with block counts only).
+"""
+
+from __future__ import annotations
+
+from repro.harness import figure7
+
+
+def test_figure7_regeneration(benchmark, table1_result):
+    regression = benchmark.pedantic(
+        lambda: figure7(table1_result), rounds=1, iterations=1
+    )
+    print()
+    print(regression.format())
+    assert regression.slope > 0, "cycle savings must grow with block savings"
+    assert regression.r_squared > 0.25, (
+        "block-count reduction should explain a substantial share of "
+        f"cycle-count reduction (r^2 = {regression.r_squared:.3f})"
+    )
+
+
+def test_figure7_points_cover_all_runs(benchmark, table1_result):
+    regression = benchmark.pedantic(
+        lambda: figure7(table1_result), rounds=1, iterations=1
+    )
+    expected = len(table1_result.rows) * len(table1_result.configs)
+    assert len(regression.points) == expected

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare block-selection policies (the paper's Table 2 story, live).
+
+Runs the breadth-first, depth-first and path-based VLIW policies on two
+benchmarks where the choice matters most:
+
+- ``bzip2_3``: a rarely-taken block feeds the merge point that holds the
+  loop's induction-variable update.  Excluding it (DF/VLIW) forces tail
+  duplication of the update, making it data-dependent on a load-based
+  test — slower than basic blocks.  Including everything (BF) lets the
+  guard simplify away.
+- ``parser_1``: rarely-taken high-latency recovery paths.  Excluding them
+  (VLIW) keeps blocks lean but pays a misprediction every time one is
+  taken; including them (BF) costs nothing on an EDGE machine because a
+  falsely-predicated path resolves as cheap null tokens.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.core.convergent import form_module
+from repro.core.policies import (
+    BreadthFirstPolicy,
+    DepthFirstPolicy,
+    VLIWPolicy,
+)
+from repro.opt.pipeline import optimize_module
+from repro.profiles import collect_profile
+from repro.sim import run_module
+from repro.sim.timing import simulate_cycles
+from repro.workloads.microbench import MICROBENCHMARKS
+
+POLICIES = [
+    ("breadth-first", BreadthFirstPolicy),
+    ("depth-first", DepthFirstPolicy),
+    ("VLIW (path-based)", VLIWPolicy),
+]
+
+
+def compare(name: str) -> None:
+    workload = MICROBENCHMARKS[name]
+    preload = lambda: {k: list(v) for k, v in workload.preload.items()}
+    base = workload.module()
+    reference = run_module(base.copy(), args=workload.args, preload=preload())[0]
+    profile = collect_profile(base.copy(), args=workload.args, preload=preload())
+    baseline = simulate_cycles(base.copy(), args=workload.args, preload=preload())
+
+    print(f"\n=== {name} — {workload.description} ===")
+    print(f"{'policy':20s} {'cycles':>8s} {'vs BB':>8s} {'blocks':>7s} "
+          f"{'mispredicts':>11s}")
+    print(f"{'basic blocks':20s} {baseline.cycles:8d} {'':>8s} "
+          f"{baseline.blocks:7d} {baseline.mispredictions:11d}")
+    for label, policy_cls in POLICIES:
+        module = base.copy()
+        form_module(module, profile=profile, policy=policy_cls())
+        optimize_module(module)
+        result = run_module(module.copy(), args=workload.args, preload=preload())[0]
+        assert result == reference, (label, result, reference)
+        stats = simulate_cycles(module, args=workload.args, preload=preload())
+        delta = 100.0 * (baseline.cycles - stats.cycles) / baseline.cycles
+        print(f"{label:20s} {stats.cycles:8d} {delta:+7.1f}% "
+              f"{stats.blocks:7d} {stats.mispredictions:11d}")
+
+
+def main() -> None:
+    for name in ("bzip2_3", "parser_1", "twolf_1"):
+        compare(name)
+    print(
+        "\nTakeaway: on an EDGE machine the best heuristic merges *all*"
+        "\npaths (breadth-first) — excluded paths cost either a tail-"
+        "\nduplication dependence (bzip2_3) or mispredictions (parser_1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Head duplication on while loops — the paper's motivating case.
+
+For-loop unrolling can be done in the front end because the trip count is
+known per entry; *while* loops must test their exit every iteration, so a
+classical unroller duplicates whole CFG regions and still leaves one block
+per iteration.  Head duplication folds peeling and unrolling into
+hyperblock formation: the low-trip-count neighbor-walk loops of ``ammp``
+are the paper's best case.
+
+This example compares the phase orderings of Table 1 on such a kernel.
+
+Run:  python examples/while_loop_kernels.py
+"""
+
+from repro.core.phases import ORDERINGS, compile_with_ordering
+from repro.profiles import collect_profile
+from repro.sim import run_module
+from repro.sim.timing import simulate_cycles
+from repro.workloads.microbench import MICROBENCHMARKS
+
+
+def main() -> None:
+    workload = MICROBENCHMARKS["ammp_1"]
+    preload = lambda: {k: list(v) for k, v in workload.preload.items()}
+    base = workload.module()
+    reference = run_module(base.copy(), args=workload.args, preload=preload())[0]
+    profile = collect_profile(base.copy(), args=workload.args, preload=preload())
+
+    print(f"kernel: ammp_1 — {workload.description}")
+    hist = profile.trip_histogram("main", "wh2")
+    if not hist:
+        # find the inner while loop header in the profile
+        for (func, header), h in profile.trip_histograms.items():
+            if sum(h.values()) > 10:
+                hist = h
+                break
+    print(f"inner-loop trip-count histogram (from the training run): "
+          f"{dict(sorted(hist.items()))}")
+
+    print(f"\n{'ordering':10s} {'cycles':>8s} {'vs BB':>8s} {'dyn blocks':>10s} "
+          f"{'m/t/u/p':>12s}")
+    baseline_cycles = None
+    for ordering in ORDERINGS:
+        module = base.copy()
+        stats = compile_with_ordering(module, ordering, profile)
+        result = run_module(module.copy(), args=workload.args, preload=preload())[0]
+        assert result == reference
+        timing = simulate_cycles(module, args=workload.args, preload=preload())
+        if baseline_cycles is None:
+            baseline_cycles = timing.cycles
+        delta = 100.0 * (baseline_cycles - timing.cycles) / baseline_cycles
+        mtup = "/".join(str(x) for x in stats.mtup)
+        print(f"{ordering:10s} {timing.cycles:8d} {delta:+7.1f}% "
+              f"{timing.blocks:10d} {mtup:>12s}")
+
+    print(
+        "\nThe convergent orderings peel the common three iterations into"
+        "\nthe enclosing hyperblock (p > 0), which a classical pre-"
+        "\nif-conversion unroller cannot do for multi-block while loops."
+    )
+
+
+if __name__ == "__main__":
+    main()

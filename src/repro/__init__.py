@@ -1,0 +1,16 @@
+"""repro — a reproduction of "Merging Head and Tail Duplication for
+Convergent Hyperblock Formation" (Maher, Smith, Burger, McKinley, MICRO-39,
+2006).
+
+Public API highlights:
+
+- :mod:`repro.ir` — predicated RISC-like IR (blocks, functions, builder).
+- :mod:`repro.frontend` — the TL mini-language compiler front end.
+- :mod:`repro.core` — convergent hyperblock formation, policies, and the
+  discrete phase-ordering baselines.
+- :mod:`repro.sim` — functional and TRIPS-like timing simulators.
+- :mod:`repro.workloads` — microbenchmarks and SPEC-surrogate programs.
+- :mod:`repro.harness` — regenerates every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"

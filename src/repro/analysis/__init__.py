@@ -1,0 +1,23 @@
+"""CFG analyses: dominators, loops, liveness, dependence graphs."""
+
+from repro.analysis.depgraph import (
+    completion_depths,
+    dep_preds,
+    dependence_height,
+    path_dependence_height,
+)
+from repro.analysis.dominators import DominatorTree, reverse_postorder
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import Loop, LoopForest
+
+__all__ = [
+    "DominatorTree",
+    "Liveness",
+    "Loop",
+    "LoopForest",
+    "completion_depths",
+    "dep_preds",
+    "dependence_height",
+    "path_dependence_height",
+    "reverse_postorder",
+]

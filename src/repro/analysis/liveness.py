@@ -1,0 +1,83 @@
+"""Live-register analysis (backward may dataflow).
+
+Predicated writes do *not* kill a register: when the predicate is false the
+old value remains visible, so only unpredicated definitions enter the kill
+set.  Liveness is used by dead-code elimination, by the structural
+constraint estimator (live-in = register reads, live-out∩defs = register
+writes of a TRIPS block) and by the register allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.predimpl import exposed_uses
+from repro.ir.function import CFG, Function
+
+
+def block_use_kill(block) -> tuple[set[int], set[int]]:
+    """(upward-exposed uses, unconditional kills) for one block.
+
+    Upward-exposed uses are predicate-implication aware: a read guarded by
+    the same (or a stronger) predicate than an earlier write in the block
+    is not exposed.  Without this every predicated temporary of a
+    hyperblock would look live across the CFG.
+    """
+    use = exposed_uses(block)
+    kill: set[int] = set()
+    for instr in block:
+        if instr.dest is not None and instr.pred is None:
+            kill.add(instr.dest)
+    return use, kill
+
+
+class Liveness:
+    """Per-block live-in/live-out register sets for one function.
+
+    ``use_kill`` may supply precomputed per-block (use, kill) sets —
+    hyperblock formation caches them because only the merged block changes
+    between its frequent liveness recomputations.
+    """
+
+    def __init__(
+        self,
+        func: Function,
+        cfg: Optional[CFG] = None,
+        use_kill: Optional[dict[str, tuple[set[int], set[int]]]] = None,
+    ):
+        self.func = func
+        self.cfg = cfg or func.cfg()
+        self.live_in: dict[str, set[int]] = {}
+        self.live_out: dict[str, set[int]] = {}
+        self._use: dict[str, set[int]] = {}
+        self._kill: dict[str, set[int]] = {}
+        self._provided = use_kill
+        self._solve()
+
+    def _block_use_kill(self, name: str) -> tuple[set[int], set[int]]:
+        if self._provided is not None and name in self._provided:
+            return self._provided[name]
+        return block_use_kill(self.func.blocks[name])
+
+    def _solve(self) -> None:
+        blocks = list(self.func.blocks)
+        for name in blocks:
+            self._use[name], self._kill[name] = self._block_use_kill(name)
+            self.live_in[name] = set(self._use[name])
+            self.live_out[name] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in reversed(blocks):
+                out: set[int] = set()
+                for succ in self.cfg.succs.get(name, []):
+                    out |= self.live_in.get(succ, set())
+                new_in = self._use[name] | (out - self._kill[name])
+                if out != self.live_out[name] or new_in != self.live_in[name]:
+                    self.live_out[name] = out
+                    self.live_in[name] = new_in
+                    changed = True
+
+    def live_through(self, name: str) -> set[int]:
+        """Registers live across the block without being used in it."""
+        return self.live_out[name] - self._use[name] - self._kill[name]

@@ -1,0 +1,134 @@
+"""Natural-loop detection and the loop forest.
+
+Head duplication needs to know, for a candidate merge edge ``HB -> S``:
+
+- whether ``S`` is a loop header (peeling applies),
+- whether the edge is a back edge (unrolling applies),
+
+so the loop forest is the central analysis of the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.function import CFG, Function
+
+
+class Loop:
+    """A natural loop: header block plus the body block set."""
+
+    def __init__(self, header: str):
+        self.header = header
+        self.blocks: set[str] = {header}
+        self.back_edges: list[tuple[str, str]] = []  # (latch, header)
+        self.parent: Optional["Loop"] = None
+        self.children: list["Loop"] = []
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def latches(self) -> list[str]:
+        return [src for src, _ in self.back_edges]
+
+    def exits(self, cfg: CFG) -> list[tuple[str, str]]:
+        """Edges leaving the loop, as (inside_block, outside_block)."""
+        result = []
+        for name in sorted(self.blocks):
+            for succ in cfg.succs.get(name, []):
+                if succ not in self.blocks:
+                    result.append((name, succ))
+        return result
+
+    def entry_edges(self, cfg: CFG) -> list[tuple[str, str]]:
+        """Edges entering the header from outside the loop."""
+        return [
+            (pred, self.header)
+            for pred in cfg.preds.get(self.header, [])
+            if pred not in self.blocks
+        ]
+
+    def __repr__(self) -> str:
+        return f"<Loop header={self.header} blocks={len(self.blocks)}>"
+
+
+class LoopForest:
+    """All natural loops of a function, nested into a forest."""
+
+    def __init__(self, func: Function, cfg: Optional[CFG] = None,
+                 domtree: Optional[DominatorTree] = None):
+        self.func = func
+        self.cfg = cfg or func.cfg()
+        self.domtree = domtree or DominatorTree(func, self.cfg)
+        self.loops: dict[str, Loop] = {}  # keyed by header
+        self._block_loops: dict[str, list[Loop]] = {}
+        self._find_loops()
+        self._nest_loops()
+
+    # -- construction -------------------------------------------------------
+
+    def _find_loops(self) -> None:
+        dom = self.domtree
+        for src in dom.rpo:
+            for dst in self.cfg.succs.get(src, []):
+                if dst in dom.idom or dst == self.func.entry:
+                    if dom.dominates(dst, src):
+                        loop = self.loops.setdefault(dst, Loop(dst))
+                        loop.back_edges.append((src, dst))
+                        self._collect_body(loop, src)
+
+    def _collect_body(self, loop: Loop, latch: str) -> None:
+        stack = [latch]
+        while stack:
+            name = stack.pop()
+            if name in loop.blocks:
+                continue
+            loop.blocks.add(name)
+            stack.extend(self.cfg.preds.get(name, []))
+
+    def _nest_loops(self) -> None:
+        ordered = sorted(self.loops.values(), key=lambda l: len(l.blocks))
+        for i, inner in enumerate(ordered):
+            for outer in ordered[i + 1 :]:
+                if inner.header in outer.blocks and inner is not outer:
+                    inner.parent = outer
+                    outer.children.append(inner)
+                    break
+        for loop in self.loops.values():
+            for name in loop.blocks:
+                self._block_loops.setdefault(name, []).append(loop)
+        for loops in self._block_loops.values():
+            loops.sort(key=lambda l: -l.depth)
+
+    # -- queries ------------------------------------------------------------
+
+    def is_header(self, name: str) -> bool:
+        return name in self.loops
+
+    def loop_of_header(self, name: str) -> Optional[Loop]:
+        return self.loops.get(name)
+
+    def innermost_loop(self, name: str) -> Optional[Loop]:
+        loops = self._block_loops.get(name)
+        return loops[0] if loops else None
+
+    def loop_depth(self, name: str) -> int:
+        loop = self.innermost_loop(name)
+        return loop.depth if loop else 0
+
+    def is_back_edge(self, src: str, dst: str) -> bool:
+        loop = self.loops.get(dst)
+        return loop is not None and (src, dst) in loop.back_edges
+
+    def top_level_loops(self) -> list[Loop]:
+        return [l for l in self.loops.values() if l.parent is None]
+
+    def all_loops_innermost_first(self) -> list[Loop]:
+        return sorted(self.loops.values(), key=lambda l: -l.depth)

@@ -1,0 +1,206 @@
+"""Predicate implication reasoning within a block.
+
+If-conversion guards merged code with chains of ``AND``/``NOT``/``MOV``
+combinators.  Several analyses need to know when one predicate *implies*
+another — e.g. a read of ``r`` guarded by ``q`` is NOT upward-exposed if an
+earlier write of ``r`` was guarded by ``p`` and ``q ⇒ p`` (whenever the
+read executes, the write executed first).  Without this, every predicated
+temporary in a hyperblock looks live-in and live-out, which poisons
+liveness, dead-code elimination, and the structural size estimates.
+
+Hyperblocks formed by unrolling redefine test registers, so naive
+implication over register *names* is unsound.  :func:`exposed_uses` tracks
+a version number per register: implication facts constrain the value a
+register had at a specific version, and only facts whose versions line up
+with a guarded write are used to suppress exposure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.instruction import Predicate
+from repro.ir.opcodes import Opcode
+
+Atom = tuple[int, bool]
+Edges = dict[Atom, set[Atom]]
+
+
+def implication_edges(block: BasicBlock) -> tuple[Edges, dict[int, int]]:
+    """Unversioned implication facts from single-def predicate combinators.
+
+    Suitable for callers that do their own redefinition tracking (the
+    optimizer's implicit-predication pass).  Returns ``(edges,
+    def_counts)``.
+    """
+    def_counts: dict[int, int] = {}
+    for instr in block.instrs:
+        if instr.dest is not None:
+            def_counts[instr.dest] = def_counts.get(instr.dest, 0) + 1
+    edges: Edges = {}
+    for instr in block.instrs:
+        if instr.dest is None or def_counts.get(instr.dest, 0) != 1:
+            continue
+        if instr.pred is not None:
+            continue
+        d = instr.dest
+        if instr.op is Opcode.AND:
+            a, b = instr.srcs
+            edges.setdefault((d, True), set()).update({(a, True), (b, True)})
+        elif instr.op is Opcode.NOT:
+            (a,) = instr.srcs
+            edges.setdefault((d, True), set()).add((a, False))
+            edges.setdefault((d, False), set()).add((a, True))
+        elif instr.op is Opcode.MOV:
+            (a,) = instr.srcs
+            edges.setdefault((d, True), set()).add((a, True))
+            edges.setdefault((d, False), set()).add((a, False))
+    return edges, def_counts
+
+
+def implies(
+    edges: Edges,
+    q: Predicate,
+    p: Predicate,
+    unstable: frozenset[int] = frozenset(),
+) -> bool:
+    """True if ``q`` holding guarantees ``p`` holds (unversioned).
+
+    Atoms over registers in ``unstable`` are not traversed.
+    """
+    if p.reg in unstable:
+        return False
+    start = (q.reg, q.sense)
+    goal = (p.reg, p.sense)
+    if start == goal:
+        return True
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for nxt in edges.get(node, ()):
+            if nxt[0] in unstable:
+                continue
+            if nxt == goal:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+class _VersionedImplication:
+    """Implication graph whose edges are stamped with register versions.
+
+    An edge ``(d, s)@dv -> (a, t)@av`` asserts: *the value of d at its
+    dv-th definition, being s, implies the value a had at its av-th
+    definition was t*.  Searches therefore carry ``(atom, version)``
+    states, so facts about stale definitions are never misapplied — the
+    soundness hazard unrolled hyperblocks create by recomputing tests into
+    the same register.
+    """
+
+    def __init__(self) -> None:
+        self.version: dict[int, int] = {}
+        #: atom -> list of (head version, implied atom, implied version)
+        self.edges: dict[Atom, list[tuple[int, Atom, int]]] = {}
+
+    def ver(self, reg: int) -> int:
+        return self.version.get(reg, 0)
+
+    def bump(self, reg: int) -> None:
+        self.version[reg] = self.ver(reg) + 1
+
+    def _edge(self, src: Atom, dst: Atom) -> None:
+        self.edges.setdefault(src, []).append(
+            (self.ver(src[0]), dst, self.ver(dst[0]))
+        )
+
+    def record_combinator(self, instr) -> None:
+        """Add facts for an unpredicated combinator (call after bumping
+        the destination's version)."""
+        d = instr.dest
+        if instr.op is Opcode.AND:
+            a, b = instr.srcs
+            self._edge((d, True), (a, True))
+            self._edge((d, True), (b, True))
+        elif instr.op is Opcode.NOT:
+            (a,) = instr.srcs
+            self._edge((d, True), (a, False))
+            self._edge((d, False), (a, True))
+        elif instr.op is Opcode.MOV:
+            (a,) = instr.srcs
+            self._edge((d, True), (a, True))
+            self._edge((d, False), (a, False))
+
+    def covered(self, guard: Predicate, write: Predicate, write_ver: int) -> bool:
+        """Does ``guard`` (current value) imply that ``write``'s register,
+        at version ``write_ver``, held ``write.sense``?"""
+        goal = ((write.reg, write.sense), write_ver)
+        start = ((guard.reg, guard.sense), self.ver(guard.reg))
+        if start == goal:
+            return True
+        seen = {start}
+        stack = [start]
+        while stack:
+            atom, version = stack.pop()
+            for head_ver, dst, dst_ver in self.edges.get(atom, ()):
+                if head_ver != version:
+                    continue
+                state = (dst, dst_ver)
+                if state == goal:
+                    return True
+                if state not in seen:
+                    seen.add(state)
+                    stack.append(state)
+        return False
+
+
+def exposed_uses(block: BasicBlock) -> set[int]:
+    """Upward-exposed register reads, predicate-implication aware.
+
+    A read of ``r`` guarded by ``q`` is exposed unless an earlier write of
+    ``r`` was unconditional or guarded by ``p`` with ``q ⇒ p`` under
+    version-consistent implication.  The predicate register itself is read
+    unconditionally (to decide execution), so it counts as an unguarded
+    use.
+    """
+    imp = _VersionedImplication()
+    exposed: set[int] = set()
+    killed: set[int] = set()
+    #: reg -> list of (write predicate, version of pred reg at write)
+    cond_writes: dict[int, list[tuple[Predicate, int]]] = {}
+
+    def use(reg: int, guard: Optional[Predicate]) -> None:
+        if reg in killed or reg in exposed:
+            return
+        if guard is not None:
+            for write_pred, write_ver in cond_writes.get(reg, ()):
+                if imp.covered(guard, write_pred, write_ver):
+                    return
+        exposed.add(reg)
+
+    for instr in block.instrs:
+        guard = instr.pred
+        if guard is not None:
+            use(guard.reg, None)
+        for reg in instr.srcs:
+            use(reg, guard)
+        dest = instr.dest
+        if dest is not None:
+            if guard is None:
+                # Record combinator facts before bumping the version: the
+                # edges constrain the *new* value of dest, so record after
+                # bump instead.
+                imp.bump(dest)
+                killed.add(dest)
+                cond_writes.pop(dest, None)
+                if instr.op in (Opcode.AND, Opcode.NOT, Opcode.MOV):
+                    imp.record_combinator(instr)
+            else:
+                imp.bump(dest)
+                cond_writes.setdefault(dest, []).append(
+                    (Predicate(guard.reg, guard.sense), imp.ver(guard.reg))
+                )
+    return exposed

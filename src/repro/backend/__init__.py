@@ -1,0 +1,27 @@
+"""TRIPS-like backend: allocation, splitting, fanout, placement, assembly."""
+
+from repro.backend.assembly import emit_assembly, format_block_assembly
+from repro.backend.fanout import FanoutStats, insert_fanout, insert_fanout_block
+from repro.backend.pipeline import BackendError, CompiledProgram, compile_backend
+from repro.backend.regalloc import AllocationResult, allocate_registers
+from repro.backend.reverse_ifconvert import SplitError, reverse_if_convert, split_block
+from repro.backend.scheduler import GridScheduler, Placement, schedule_function
+
+__all__ = [
+    "AllocationResult",
+    "BackendError",
+    "CompiledProgram",
+    "FanoutStats",
+    "GridScheduler",
+    "Placement",
+    "SplitError",
+    "allocate_registers",
+    "compile_backend",
+    "emit_assembly",
+    "format_block_assembly",
+    "insert_fanout",
+    "insert_fanout_block",
+    "reverse_if_convert",
+    "schedule_function",
+    "split_block",
+]

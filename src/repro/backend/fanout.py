@@ -1,0 +1,114 @@
+"""Fanout insertion: replicate values with more consumers than an
+instruction can name.
+
+TRIPS instructions encode a fixed number of target slots (two in the
+prototype); a value consumed by more instructions is routed through a tree
+of ``FANOUT`` movs built by the scheduler.  Each mov consumes one target
+slot of its parent and provides ``targets`` new slots, so a value with
+``k`` consumers needs ``max(0, k - targets)`` movs — the quantity the
+formation-time size estimator charges.
+
+This pass materializes the trees: consumers beyond the first ``targets``
+are rewired to read fanout copies.  Inserting real instructions validates
+the estimator and gives the assembly emitter a complete program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Predicate
+from repro.ir.opcodes import Opcode
+
+
+@dataclass
+class FanoutStats:
+    inserted: int = 0
+    values_fanned: int = 0
+
+
+def insert_fanout_block(
+    func: Function, block: BasicBlock, targets: int = 2
+) -> FanoutStats:
+    """Insert fanout movs into one block (in place)."""
+    stats = FanoutStats()
+    # Consumer positions per (defining position, register).
+    out: list[Instruction] = []
+    # For each currently-available value: list of remaining target slots,
+    # expressed as the register consumers should read.
+    new_instrs: list[tuple[int, Instruction]] = []  # (insert_after, instr)
+
+    # First pass: count consumers of each definition instance.
+    last_def: dict[int, int] = {}
+    consumers: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for pos, instr in enumerate(block.instrs):
+        for slot, reg in enumerate(instr.uses()):
+            key = (last_def.get(reg, -1), reg)
+            consumers.setdefault(key, []).append((pos, slot))
+        if instr.dest is not None:
+            last_def[instr.dest] = pos
+
+    # Second pass: for over-subscribed values, rewire the extra consumers
+    # to freshly created fanout registers (a flat tree: each mov provides
+    # `targets` slots and consumes one of its parent's).
+    rewires: dict[tuple[int, int], int] = {}  # (pos, operand index) -> reg
+    inserts: dict[int, list[Instruction]] = {}
+    for (def_pos, reg), uses in consumers.items():
+        if len(uses) <= targets:
+            continue
+        stats.values_fanned += 1
+        # Balanced fanout tree: a FIFO of available target slots; when the
+        # supply runs short, one slot is converted into a fanout mov that
+        # provides `targets` fresh slots (net gain targets-1).  The mov
+        # count equals the estimator's ``k - targets`` for 2-target
+        # instructions.
+        available: list[int] = [reg] * targets
+        while len(available) < len(uses):
+            source = available.pop(0)
+            copy_reg = func.new_reg()
+            mov = Instruction(Opcode.FANOUT, dest=copy_reg, srcs=(source,))
+            inserts.setdefault(def_pos, []).append(mov)
+            stats.inserted += 1
+            available.extend([copy_reg] * targets)
+        for pos, slot in uses:
+            source = available.pop(0)
+            if source != reg:
+                rewires[(pos, slot)] = source
+
+    if not rewires:
+        return stats
+
+    # Apply rewires and splice in the fanout movs.
+    for pos, instr in enumerate(block.instrs):
+        n_srcs = len(instr.srcs)
+        new_srcs = list(instr.srcs)
+        for slot in range(n_srcs):
+            repl = rewires.get((pos, slot))
+            if repl is not None:
+                new_srcs[slot] = repl
+        instr.srcs = tuple(new_srcs)
+        pred_slot = rewires.get((pos, n_srcs))
+        if pred_slot is not None and instr.pred is not None:
+            instr.pred = Predicate(pred_slot, instr.pred.sense)
+
+    # Values defined outside the block (def_pos == -1) fan out at the top.
+    for mov in inserts.get(-1, ()):
+        out.append(mov)
+    for pos in range(len(block.instrs)):
+        out.append(block.instrs[pos])
+        for mov in inserts.get(pos, ()):
+            out.append(mov)
+    block.instrs = [i for i in out]
+    return stats
+
+
+def insert_fanout(func: Function, targets: int = 2) -> FanoutStats:
+    """Insert fanout trees in every block of ``func``."""
+    total = FanoutStats()
+    for block in func.blocks.values():
+        stats = insert_fanout_block(func, block, targets=targets)
+        total.inserted += stats.inserted
+        total.values_fanned += stats.values_fanned
+    return total

@@ -1,0 +1,56 @@
+"""Reverse if-conversion: split an over-full hyperblock back in two.
+
+Register allocation can add spill code to a block that was formed right at
+the structural limits; the paper's compiler then "performs reverse
+if-conversion on the block, and repeats register allocation" (Section 6).
+The split moves the tail of the block into a new block reached by an
+unconditional branch; predicates computed in the first half simply flow
+through registers to the second.
+
+The cut point must not strand a branch in the first half (the first half
+ends with the new unconditional branch, and exactly one branch may fire),
+so the split position is clamped to the first branch instruction.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+
+
+from repro.transform.split import SplitError, split_block
+
+
+def reverse_if_convert(
+    func: Function,
+    name: str,
+    max_instructions: int,
+) -> list[str]:
+    """Split ``name`` repeatedly until every piece fits ``max_instructions``.
+
+    Returns the names of all resulting blocks (in control-flow order).
+    """
+    pieces = [name]
+    result = []
+    guard = 0
+    while pieces:
+        guard += 1
+        if guard > 64:
+            raise SplitError(f"{name}: runaway splitting")
+        current = pieces.pop(0)
+        size = len(func.blocks[current])
+        if size <= max_instructions:
+            result.append(current)
+            continue
+        try:
+            first, second = split_block(func, current)
+        except SplitError:
+            result.append(current)
+            continue
+        if len(func.blocks[first]) >= size:
+            # No progress (branch pinned the cut); accept as-is.
+            result.append(first)
+            result.append(second)
+            continue
+        pieces.insert(0, second)
+        pieces.insert(0, first)
+    return result

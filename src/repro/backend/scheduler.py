@@ -1,0 +1,90 @@
+"""Instruction placement on the TRIPS execution array.
+
+TRIPS maps each block's instructions onto a 4x4 grid of ALUs, eight
+instruction slots per ALU (4*4*8 = 128).  Operands travel on a routed
+mesh, so placement determines communication latency: dependent
+instructions want to be on the same or adjacent tiles.  This is a greedy
+simplification of the SPDI scheduler [Nagarajan et al., PACT'04]: place in
+dependence (topological) order, choosing the free slot that minimizes the
+summed Manhattan distance to the already-placed producers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.depgraph import dep_preds
+from repro.ir.block import BasicBlock
+
+
+@dataclass
+class Placement:
+    """Placement of one block's instructions on the ALU grid."""
+
+    #: instruction uid -> (x, y, slot)
+    slots: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    total_hops: int = 0
+    edges: int = 0
+
+    @property
+    def average_hops(self) -> float:
+        return self.total_hops / self.edges if self.edges else 0.0
+
+
+class GridScheduler:
+    """Places blocks onto a ``width`` x ``height`` grid with ``depth``
+    instruction slots per tile."""
+
+    def __init__(self, width: int = 4, height: int = 4, depth: int = 8):
+        self.width = width
+        self.height = height
+        self.depth = depth
+
+    @property
+    def capacity(self) -> int:
+        return self.width * self.height * self.depth
+
+    def schedule_block(self, block: BasicBlock) -> Placement:
+        if len(block) > self.capacity:
+            raise ValueError(
+                f"{block.name}: {len(block)} instructions exceed the "
+                f"{self.capacity}-slot execution array"
+            )
+        placement = Placement()
+        occupancy = {
+            (x, y): 0 for x in range(self.width) for y in range(self.height)
+        }
+        position: dict[int, tuple[int, int]] = {}  # instr index -> tile
+        preds = dep_preds(block)
+        for index, instr in enumerate(block.instrs):
+            producers = [position[p] for p in preds[index] if p in position]
+            best_tile = None
+            best_cost = None
+            for (x, y), used in occupancy.items():
+                if used >= self.depth:
+                    continue
+                cost = sum(abs(x - px) + abs(y - py) for px, py in producers)
+                # Prefer lightly loaded tiles on ties to spread issue load.
+                key = (cost, used, x, y)
+                if best_cost is None or key < best_cost:
+                    best_cost = key
+                    best_tile = (x, y)
+            assert best_tile is not None
+            x, y = best_tile
+            slot = occupancy[best_tile]
+            occupancy[best_tile] = slot + 1
+            position[index] = best_tile
+            placement.slots[instr.uid] = (x, y, slot)
+            for px, py in producers:
+                placement.total_hops += abs(x - px) + abs(y - py)
+                placement.edges += 1
+        return placement
+
+
+def schedule_function(func, scheduler: GridScheduler = None) -> dict[str, Placement]:
+    """Placement for every block of a function."""
+    scheduler = scheduler or GridScheduler()
+    return {
+        name: scheduler.schedule_block(block)
+        for name, block in func.blocks.items()
+    }

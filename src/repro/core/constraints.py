@@ -1,0 +1,198 @@
+"""TRIPS structural block constraints and the ``LegalBlock`` estimator.
+
+The TRIPS ISA restricts every block to (Section 2 of the paper):
+
+1. at most 128 instructions,
+2. at most 32 load/store identifiers,
+3. at most 8 reads and 8 writes per register bank (4 banks),
+4. a fixed number of outputs: a constant number of register writes and
+   stores, plus exactly one branch, must be produced on every execution.
+
+Constraint 4 is what makes duplication expensive on an EDGE target:
+a value written on only one predicate path needs a null write on the other
+paths, and a predicated store needs a matching null store.  The estimator
+below charges those padding instructions, together with the fanout movs the
+backend will later insert for values with many consumers, so hyperblock
+formation converges against a realistic size — exactly the role the size
+estimator plays in the Scale/TRIPS compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import BasicBlock
+from repro.ir.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class TripsConstraints:
+    """Architectural block limits (defaults = the TRIPS prototype)."""
+
+    max_instructions: int = 128
+    max_memory_ops: int = 32
+    register_banks: int = 4
+    reads_per_bank: int = 8
+    writes_per_bank: int = 8
+    #: data targets an instruction can encode; more consumers need fanout.
+    instruction_targets: int = 2
+    #: if True, charge reads/writes to banks by hashing virtual register
+    #: numbers (pessimistic: the later register allocator balances banks).
+    #: The default budgets *total* reads/writes against banks*per_bank,
+    #: which is what the Scale size estimator effectively assumes.
+    strict_banking: bool = False
+
+    def bank_of(self, reg: int) -> int:
+        return reg % self.register_banks
+
+    @property
+    def max_reads(self) -> int:
+        return self.register_banks * self.reads_per_bank
+
+    @property
+    def max_writes(self) -> int:
+        return self.register_banks * self.writes_per_bank
+
+
+#: A configuration with everything effectively unlimited, for experiments
+#: that isolate policy effects from structural limits.
+UNLIMITED = TripsConstraints(
+    max_instructions=1 << 30,
+    max_memory_ops=1 << 30,
+    reads_per_bank=1 << 30,
+    writes_per_bank=1 << 30,
+)
+
+
+@dataclass
+class BlockEstimate:
+    """Sizing of one block against :class:`TripsConstraints`."""
+
+    real_instructions: int = 0
+    memory_ops: int = 0
+    fanout_instructions: int = 0
+    null_writes: int = 0
+    null_stores: int = 0
+    bank_reads: dict[int, int] = field(default_factory=dict)
+    bank_writes: dict[int, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def total_instructions(self) -> int:
+        return (
+            self.real_instructions
+            + self.fanout_instructions
+            + self.null_writes
+            + self.null_stores
+        )
+
+    @property
+    def legal(self) -> bool:
+        return not self.violations
+
+
+def estimate_block(
+    block: BasicBlock,
+    live_out: set[int],
+    constraints: TripsConstraints,
+) -> BlockEstimate:
+    """Size ``block`` against the constraints.
+
+    ``live_out`` is the set of registers live on exit; it determines the
+    block's register-write outputs and the null-write padding.
+    """
+    est = BlockEstimate()
+    est.real_instructions = len(block.instrs)
+
+    consumers: dict[int, int] = {}
+    unconditional_writers: set[int] = set()
+    conditional_writers: set[int] = set()
+    #: constants are rematerialized by the backend rather than fanned out
+    remat: set[int] = set()
+    predicated_stores = 0
+
+    for instr in block.instrs:
+        if instr.op is Opcode.MOVI and instr.dest is not None:
+            remat.add(instr.dest)
+        elif instr.dest is not None:
+            remat.discard(instr.dest)
+        for reg in instr.uses():
+            consumers[reg] = consumers.get(reg, 0) + 1
+        if instr.is_memory:
+            est.memory_ops += 1
+            if instr.op is Opcode.STORE and instr.pred is not None:
+                predicated_stores += 1
+        if instr.dest is not None:
+            if instr.pred is None:
+                unconditional_writers.add(instr.dest)
+            else:
+                conditional_writers.add(instr.dest)
+
+    # Fanout: each producer encodes `instruction_targets` consumers; extra
+    # consumers need a tree of fanout movs, each contributing one net slot.
+    width = constraints.instruction_targets
+    for reg, count in consumers.items():
+        if count > width and reg not in remat:
+            est.fanout_instructions += count - width
+
+    # Output padding (fixed-output rule): live-out registers written only
+    # under a predicate need a null write for the paths that skip them;
+    # predicated stores need a matching null store.
+    written = unconditional_writers | conditional_writers
+    for reg in written & live_out:
+        if reg not in unconditional_writers:
+            est.null_writes += 1
+    est.null_stores = predicated_stores
+
+    # Register banking: reads = upward-exposed registers (predicate-
+    # implication aware), writes = live-out registers the block defines.
+    from repro.analysis.predimpl import exposed_uses
+
+    for reg in exposed_uses(block):
+        bank = constraints.bank_of(reg)
+        est.bank_reads[bank] = est.bank_reads.get(bank, 0) + 1
+    for reg in written & live_out:
+        bank = constraints.bank_of(reg)
+        est.bank_writes[bank] = est.bank_writes.get(bank, 0) + 1
+
+    # Violations.
+    if est.total_instructions > constraints.max_instructions:
+        est.violations.append(
+            f"instructions {est.total_instructions} > "
+            f"{constraints.max_instructions}"
+        )
+    mem_total = est.memory_ops + est.null_stores
+    if mem_total > constraints.max_memory_ops:
+        est.violations.append(
+            f"memory ops {mem_total} > {constraints.max_memory_ops}"
+        )
+    if constraints.strict_banking:
+        for bank, count in est.bank_reads.items():
+            if count > constraints.reads_per_bank:
+                est.violations.append(
+                    f"bank {bank} reads {count} > {constraints.reads_per_bank}"
+                )
+        for bank, count in est.bank_writes.items():
+            if count > constraints.writes_per_bank:
+                est.violations.append(
+                    f"bank {bank} writes {count} > {constraints.writes_per_bank}"
+                )
+    else:
+        reads = sum(est.bank_reads.values())
+        writes = sum(est.bank_writes.values())
+        if reads > constraints.max_reads:
+            est.violations.append(
+                f"register reads {reads} > {constraints.max_reads}"
+            )
+        if writes > constraints.max_writes:
+            est.violations.append(
+                f"register writes {writes} > {constraints.max_writes}"
+            )
+    return est
+
+
+def legal_block(
+    block: BasicBlock, live_out: set[int], constraints: TripsConstraints
+) -> bool:
+    """The paper's ``LegalBlock`` check."""
+    return estimate_block(block, live_out, constraints).legal

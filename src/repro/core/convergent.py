@@ -1,0 +1,138 @@
+"""``ExpandBlock`` and the whole-function/module formation drivers.
+
+``expand_block`` follows Figure 5: keep a candidate set of successor
+blocks, let the policy pick the best, try the merge, and on success add
+the merged code's successors as new candidates.  Head duplication falls
+out naturally: merging a loop header peels an iteration and re-adds the
+header (another peel candidate); merging a block with itself across its
+back edge unrolls an iteration and re-adds the block (another unroll
+candidate).  Expansion stops when no candidate can be merged — the block
+has converged on the structural constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dominators import reverse_postorder
+from repro.core.merge import FormationContext, MergeStats, legal_merge, merge_blocks
+from repro.core.policies import BreadthFirstPolicy, Candidate, MergePolicy
+from repro.ir.function import Function, Module
+from repro.profiles.data import ProfileData
+
+
+def expand_block(
+    ctx: FormationContext, policy: MergePolicy, hb_name: str
+) -> int:
+    """Grow the hyperblock seeded at ``hb_name``; return merges performed."""
+    func = ctx.func
+    if hb_name not in func.blocks:
+        return 0
+    policy.begin_block(ctx, hb_name)
+    seq = 0
+    candidates: list[Candidate] = []
+    initial = policy.filter_new(ctx, hb_name, func.blocks[hb_name].successors())
+    for succ in initial:
+        candidates.append(Candidate(succ, depth=1, seq=seq))
+        seq += 1
+
+    merges = 0
+    attempts = 0
+    limit = ctx.max_merges_per_block
+    while candidates and attempts < limit:
+        attempts += 1
+        index = policy.select(ctx, hb_name, candidates)
+        cand = candidates.pop(index)
+        if not policy.admits(ctx, hb_name, cand):
+            continue
+        if not legal_merge(ctx, hb_name, cand.name):
+            continue
+        new_succs = merge_blocks(ctx, hb_name, cand.name)
+        if new_succs is None:
+            continue
+        merges += 1
+        for succ in policy.filter_new(ctx, hb_name, new_succs):
+            candidates.append(Candidate(succ, depth=cand.depth + 1, seq=seq))
+            seq += 1
+    return merges
+
+
+def form_function(
+    func: Function,
+    profile: Optional[ProfileData] = None,
+    policy: Optional[MergePolicy] = None,
+    constraints=None,
+    optimize_during: bool = True,
+    allow_head_dup: bool = True,
+    allow_block_splitting: bool = False,
+) -> MergeStats:
+    """Form hyperblocks over every reachable block of ``func``.
+
+    Seeds are processed in reverse postorder of the evolving CFG: each
+    reachable block not yet consumed by an earlier hyperblock becomes the
+    seed of a new one.  Unreachable remnants are swept afterwards.
+    """
+    policy = policy or BreadthFirstPolicy()
+    ctx = FormationContext(
+        func,
+        profile=profile,
+        constraints=constraints,
+        optimize_during=optimize_during,
+        allow_head_dup=allow_head_dup,
+        allow_block_splitting=allow_block_splitting,
+    )
+    processed: set[str] = set()
+    while True:
+        seed = _next_seed(ctx, processed)
+        if seed is None:
+            break
+        processed.add(seed)
+        expand_block(ctx, policy, seed)
+    func.remove_unreachable_blocks()
+    return ctx.stats
+
+
+def _next_seed(ctx: FormationContext, processed: set[str]) -> Optional[str]:
+    """Hottest unprocessed reachable block (ties broken by RPO position).
+
+    Hot regions are seeded first: letting a rarely executed block grow a
+    hyperblock greedily can make it too large for the hot loop that
+    contains it to absorb later.
+    """
+    func = ctx.func
+    order = reverse_postorder(func)
+    best: Optional[str] = None
+    best_key = None
+    for index, name in enumerate(order):
+        if name in processed:
+            continue
+        key = (-ctx.profile.block_count(func.name, name), index)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = name
+    return best
+
+
+def form_module(
+    module: Module,
+    profile: Optional[ProfileData] = None,
+    policy: Optional[MergePolicy] = None,
+    constraints=None,
+    optimize_during: bool = True,
+    allow_head_dup: bool = True,
+    allow_block_splitting: bool = False,
+) -> MergeStats:
+    """Run hyperblock formation over every function in the module."""
+    total = MergeStats()
+    for func in module:
+        stats = form_function(
+            func,
+            profile=profile,
+            policy=policy,
+            constraints=constraints,
+            optimize_during=optimize_during,
+            allow_head_dup=allow_head_dup,
+            allow_block_splitting=allow_block_splitting,
+        )
+        total.add(stats)
+    return total

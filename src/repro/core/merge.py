@@ -1,0 +1,307 @@
+"""``MergeBlocks`` — the inner operation of convergent hyperblock formation.
+
+This is a line-by-line implementation of the paper's Figure 5 pseudocode:
+copy the hyperblock and the merge candidate to scratch space, combine them
+(if-conversion), optionally optimize the combined block, check it against
+the structural constraints, and only then commit the CFG transformation.
+The four CFG cases (simple merge / unroll / peel / tail duplication) are
+classified exactly as in lines 7-15 of the figure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import LoopForest
+from repro.core.constraints import TripsConstraints, estimate_block
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.opt.local import optimize_block
+from repro.profiles.data import ProfileData
+from repro.transform.ifconvert import merge_preview
+
+
+class MergeKind(enum.Enum):
+    SIMPLE = "merge"  # single predecessor, no duplication
+    TAIL_DUP = "tail_duplication"
+    PEEL = "peel"
+    UNROLL = "unroll"
+
+
+@dataclass
+class MergeStats:
+    """The paper's m/t/u/p counters plus a detailed event log."""
+
+    merges: int = 0
+    tail_dups: int = 0
+    unrolls: int = 0
+    peels: int = 0
+    attempts: int = 0
+    rejected_illegal: int = 0
+    events: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def record(self, kind: MergeKind, hb: str, target: str) -> None:
+        self.merges += 1
+        if kind is MergeKind.TAIL_DUP:
+            self.tail_dups += 1
+        elif kind is MergeKind.UNROLL:
+            self.unrolls += 1
+        elif kind is MergeKind.PEEL:
+            self.peels += 1
+        self.events.append((kind.value, hb, target))
+
+    @property
+    def mtup(self) -> tuple[int, int, int, int]:
+        """(merged, tail duplicated, unrolled, peeled) as in Table 1."""
+        return (self.merges, self.tail_dups, self.unrolls, self.peels)
+
+    def add(self, other: "MergeStats") -> None:
+        self.merges += other.merges
+        self.tail_dups += other.tail_dups
+        self.unrolls += other.unrolls
+        self.peels += other.peels
+        self.attempts += other.attempts
+        self.rejected_illegal += other.rejected_illegal
+        self.events.extend(other.events)
+
+
+class FormationContext:
+    """Shared state for forming hyperblocks within one function.
+
+    Caches liveness and the loop forest, invalidating them whenever a merge
+    mutates the CFG.
+    """
+
+    def __init__(
+        self,
+        func: Function,
+        profile: Optional[ProfileData] = None,
+        constraints: Optional[TripsConstraints] = None,
+        optimize_during: bool = True,
+        allow_head_dup: bool = True,
+        allow_block_splitting: bool = False,
+        max_merges_per_block: int = 512,
+    ):
+        self.func = func
+        self.profile = profile if profile is not None else ProfileData()
+        self.constraints = constraints or TripsConstraints()
+        self.optimize_during = optimize_during
+        self.allow_head_dup = allow_head_dup
+        #: Section 9 extension: when a candidate is too large to absorb
+        #: whole, split it and merge the first piece.
+        self.allow_block_splitting = allow_block_splitting
+        self.max_merges_per_block = max_merges_per_block
+        self.stats = MergeStats()
+        #: loop header name -> saved single-iteration body for unrolling
+        self.saved_bodies: dict[str, BasicBlock] = {}
+        self._use_kill_cache: dict = {}
+        self._liveness: Optional[Liveness] = None
+        self._loops: Optional[LoopForest] = None
+        self._cfg = None
+
+    # -- cached analyses ----------------------------------------------------
+
+    def invalidate(self) -> None:
+        self._liveness = None
+        self._loops = None
+        self._cfg = None
+
+    @property
+    def cfg(self):
+        if self._cfg is None:
+            self._cfg = self.func.cfg()
+        return self._cfg
+
+    @property
+    def liveness(self) -> Liveness:
+        if self._liveness is None:
+            self._liveness = Liveness(
+                self.func, self.cfg, use_kill=self._use_kill_view()
+            )
+        return self._liveness
+
+    def _use_kill_view(self) -> dict[str, tuple[set[int], set[int]]]:
+        """Per-block (use, kill) sets, cached across merges.
+
+        Only the merged block changes between liveness recomputations, and
+        a committed merge installs a *new* block object, so ``id(block)``
+        plus the instruction count form a safe cache token.
+        """
+        from repro.analysis.liveness import block_use_kill
+
+        view: dict[str, tuple[set[int], set[int]]] = {}
+        fresh: dict[str, tuple[int, int, tuple[set[int], set[int]]]] = {}
+        for name, block in self.func.blocks.items():
+            token = (id(block), len(block.instrs))
+            cached = self._use_kill_cache.get(name)
+            if cached is not None and (cached[0], cached[1]) == token:
+                sets = cached[2]
+            else:
+                sets = block_use_kill(block)
+            fresh[name] = (token[0], token[1], sets)
+            view[name] = sets
+        self._use_kill_cache = fresh
+        return view
+
+    @property
+    def loops(self) -> LoopForest:
+        if self._loops is None:
+            self._loops = LoopForest(self.func, self.cfg)
+        return self._loops
+
+    def live_out_of(self, block: BasicBlock) -> set[int]:
+        """Live-out of a (possibly scratch) block from its branch targets."""
+        live: set[int] = set()
+        live_in = self.liveness.live_in
+        for succ in block.successors():
+            live |= live_in.get(succ, set())
+        return live
+
+
+def classify_merge(ctx: FormationContext, hb_name: str, s_name: str) -> MergeKind:
+    """Lines 7-15 of Figure 5: which CFG transformation applies."""
+    if s_name == hb_name:
+        return MergeKind.UNROLL
+    loops = ctx.loops
+    is_back_edge = loops.is_back_edge(hb_name, s_name)
+    if not is_back_edge and loops.is_header(s_name):
+        # A loop header always has its back edges as extra entrances, so a
+        # merge from outside the loop is a peel (Figure 5, line 12).
+        return MergeKind.PEEL
+    num_preds = ctx.cfg.num_preds(s_name)
+    if s_name != ctx.func.entry and num_preds == 1:
+        return MergeKind.SIMPLE
+    return MergeKind.TAIL_DUP
+
+
+def legal_merge(ctx: FormationContext, hb_name: str, s_name: str) -> bool:
+    """The paper's ``LegalMerge``: structural conditions for attempting a merge."""
+    func = ctx.func
+    if s_name not in func.blocks or hb_name not in func.blocks:
+        return False
+    hb = func.blocks[hb_name]
+    if not hb.branches_to(s_name):
+        return False
+    s = func.blocks[s_name]
+    # TRIPS calls terminate blocks: a block containing a call can neither
+    # absorb successors nor be absorbed.
+    if hb.has_call() or s.has_call():
+        return False
+    if s_name == func.entry and s_name != hb_name:
+        # Merging the function entry would duplicate the prologue; the real
+        # compiler never does this.
+        return False
+    kind = classify_merge(ctx, hb_name, s_name)
+    if not ctx.allow_head_dup:
+        if kind in (MergeKind.UNROLL, MergeKind.PEEL):
+            return False
+        if ctx.loops.is_back_edge(hb_name, s_name):
+            return False
+        if ctx.loops.is_header(s_name):
+            # Classical acyclic if-conversion never crosses loop headers.
+            return False
+    if kind is MergeKind.UNROLL and not ctx.loops.is_back_edge(hb_name, s_name):
+        # A self-branch that is not a back edge cannot occur in a reducible
+        # CFG, but guard against it anyway.
+        return False
+    return True
+
+
+def _saved_body_references(ctx: FormationContext, name: str) -> bool:
+    return any(
+        name in body.successors() for body in ctx.saved_bodies.values()
+    )
+
+
+def _try_split_candidate(
+    ctx: FormationContext, hb_name: str, s_name: str, kind: MergeKind
+) -> Optional[list[str]]:
+    """Section 9's basic-block splitting: the candidate did not fit whole,
+    so cut it and merge the first piece (the tail becomes a new candidate).
+
+    Only applies to plain merges (splitting a loop header would change
+    loop structure), and only when a meaningfully sized first piece can
+    fit the remaining budget.
+    """
+    from repro.transform.split import SplitError, split_block
+
+    if kind not in (MergeKind.SIMPLE, MergeKind.TAIL_DUP):
+        return None
+    func = ctx.func
+    target = func.blocks[s_name]
+    remaining = ctx.constraints.max_instructions - len(func.blocks[hb_name])
+    # The first piece keeps `cut` instructions plus a new branch; it must
+    # be strictly smaller than the original or no progress is possible.
+    cut = min(len(target) - 2, max(remaining // 2, 2))
+    if cut < 2:
+        return None
+    try:
+        first, second = split_block(func, s_name, at=cut)
+    except SplitError:
+        return None
+    ctx.invalidate()
+    result = merge_blocks(ctx, hb_name, s_name, _splitting=True)
+    if result is None:
+        # Revert: re-join the pieces so a failed attempt leaves no trace
+        # (otherwise degenerate splits accumulate blocks forever).
+        first_block = func.blocks[first]
+        assert first_block.instrs[-1].op is Opcode.BR
+        first_block.instrs.pop()
+        first_block.instrs.extend(func.blocks[second].instrs)
+        func.remove_block(second)
+        ctx.invalidate()
+    return result
+
+
+def merge_blocks(
+    ctx: FormationContext, hb_name: str, s_name: str, _splitting: bool = False
+) -> Optional[list[str]]:
+    """Attempt the merge; return the inlined body's successor names on
+    success (the new merge candidates), or ``None`` on failure.
+    """
+    func = ctx.func
+    ctx.stats.attempts += 1
+    hb = func.blocks[hb_name]
+    kind = classify_merge(ctx, hb_name, s_name)
+
+    if kind is MergeKind.UNROLL:
+        # First unroll of this loop: save the single-iteration body so that
+        # later unrolls append exactly one iteration (not a doubling).
+        body_source = ctx.saved_bodies.get(hb_name)
+        if body_source is None:
+            body_source = hb.copy(hb_name)
+            ctx.saved_bodies[hb_name] = body_source
+        target = hb
+    else:
+        body_source = None
+        target = func.blocks[s_name]
+
+    candidate_succs = list((body_source or target).successors())
+
+    # Scratch-space trial merge (lines 1-6 of MergeBlocks).
+    preview = merge_preview(func, hb, target, body_source=body_source)
+    live_out = ctx.live_out_of(preview)
+    if ctx.optimize_during:
+        optimize_block(preview, live_out)
+    estimate = estimate_block(preview, live_out, ctx.constraints)
+    if not estimate.legal:
+        ctx.stats.rejected_illegal += 1
+        if ctx.allow_block_splitting and not _splitting:
+            return _try_split_candidate(ctx, hb_name, s_name, kind)
+        return None
+
+    # Commit (lines 7-16).
+    func.blocks[hb_name] = preview
+    if (
+        kind is MergeKind.SIMPLE
+        and s_name != func.entry
+        and not _saved_body_references(ctx, s_name)
+    ):
+        func.remove_block(s_name)
+    ctx.stats.record(kind, hb_name, s_name)
+    ctx.invalidate()
+    return candidate_succs

@@ -1,0 +1,48 @@
+"""TL front end: lexer, parser, AST transforms, and lowering to IR.
+
+``compile_tl`` is the one-call entry point::
+
+    module = compile_tl(source, unroll_for=4, inline=True)
+"""
+
+from repro.frontend.ast_nodes import Program
+from repro.frontend.lexer import LexError, tokenize
+from repro.frontend.lower import LoweringError, lower_program
+from repro.frontend.parser import ParseError, parse
+from repro.frontend.transforms import inline_functions, unroll_for_loops
+
+
+def compile_tl(
+    source: str,
+    name: str = "tl",
+    unroll_for: int = 0,
+    inline: bool = False,
+):
+    """Compile TL source text to an IR module.
+
+    Args:
+        source: TL program text.
+        name: module name.
+        unroll_for: front-end for-loop unroll factor (0/1 = off).
+        inline: inline pure expression functions before lowering.
+    """
+    program = parse(source)
+    if inline:
+        inline_functions(program)
+    if unroll_for and unroll_for > 1:
+        unroll_for_loops(program, unroll_for)
+    return lower_program(program, name=name)
+
+
+__all__ = [
+    "LexError",
+    "LoweringError",
+    "ParseError",
+    "Program",
+    "compile_tl",
+    "inline_functions",
+    "lower_program",
+    "parse",
+    "tokenize",
+    "unroll_for_loops",
+]

@@ -1,0 +1,145 @@
+"""AST node definitions for TL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Num:
+    value: Union[int, float]
+
+
+@dataclass
+class Var:
+    name: str
+
+
+@dataclass
+class BinOp:
+    op: str  # '+', '-', '*', '/', '%', '&', '|', '^', '<<', '>>',
+    #          '==', '!=', '<', '<=', '>', '>=', '&&', '||'
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class UnOp:
+    op: str  # '-', '!'
+    operand: "Expr"
+
+
+@dataclass
+class Call:
+    callee: str
+    args: list["Expr"]
+
+
+@dataclass
+class Index:
+    """``base[index]`` — a load from address ``base + index``."""
+
+    base: "Expr"
+    index: "Expr"
+
+
+Expr = Union[Num, Var, BinOp, UnOp, Call, Index]
+
+COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass
+class VarDecl:
+    name: str
+    init: Expr
+
+
+@dataclass
+class Assign:
+    name: str
+    value: Expr
+
+
+@dataclass
+class StoreStmt:
+    """``base[index] = value``."""
+
+    base: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: list["Stmt"]
+    orelse: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list["Stmt"]
+
+
+@dataclass
+class For:
+    """``for (init; cond; step) body`` with single-variable init/step.
+
+    Kept structured (rather than desugared to While) so front-end for-loop
+    unrolling can recognize affine loops.
+    """
+
+    init: Union[VarDecl, Assign]
+    cond: Expr
+    step: Assign
+    body: list["Stmt"]
+
+
+@dataclass
+class Return:
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break:
+    pass
+
+
+@dataclass
+class Continue:
+    pass
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+
+
+Stmt = Union[VarDecl, Assign, StoreStmt, If, While, For, Return, Break,
+             Continue, ExprStmt]
+
+# -- top level -----------------------------------------------------------------
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: list[str]
+    body: list[Stmt]
+
+
+@dataclass
+class Program:
+    functions: list[FuncDecl]
+
+    def function(self, name: str) -> FuncDecl:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)

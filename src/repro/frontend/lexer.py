@@ -1,0 +1,83 @@
+"""Lexer for TL, the small C-like language the workloads are written in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+KEYWORDS = {
+    "fn", "var", "if", "else", "while", "for", "return", "break", "continue",
+}
+
+# Longest-match-first symbol table.
+SYMBOLS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class LexError(Exception):
+    """Raised on malformed input, with line information."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num', 'name', 'kw', 'sym', 'eof'
+    text: str
+    value: object = None
+    line: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn TL source text into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float:
+                        raise LexError(f"line {line}: bad number")
+                    is_float = True
+                j += 1
+            text = source[i:j]
+            value = float(text) if is_float else int(text)
+            tokens.append(Token("num", text, value, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line=line))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("sym", sym, line=line))
+                i += len(sym)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line=line))
+    return tokens

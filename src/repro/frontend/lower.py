@@ -1,0 +1,272 @@
+"""Lowering: TL AST to the RISC-like predicated IR.
+
+Variables live in fixed virtual registers (the IR is not SSA), so loop
+carried values work naturally with the predicated-merge machinery.
+Block names are dot-free (profile provenance uses dots for duplicates).
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Module
+from repro.ir.opcodes import Opcode
+
+
+class LoweringError(Exception):
+    """Raised for semantic errors (unknown variables, bad builtins)."""
+
+
+_BINOP_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "==": Opcode.TEQ,
+    "!=": Opcode.TNE,
+    "<": Opcode.TLT,
+    "<=": Opcode.TLE,
+    ">": Opcode.TGT,
+    ">=": Opcode.TGE,
+}
+
+#: Float-typed arithmetic is exposed as builtins (TL is otherwise untyped).
+_FLOAT_BUILTINS = {
+    "fadd": Opcode.FADD,
+    "fsub": Opcode.FSUB,
+    "fmul": Opcode.FMUL,
+    "fdiv": Opcode.FDIV,
+}
+
+
+class _FunctionLowerer:
+    def __init__(self, decl: ast.FuncDecl, known_functions: set[str]):
+        self.decl = decl
+        self.known = known_functions
+        self.fb = FunctionBuilder(decl.name, nparams=len(decl.params))
+        self.vars: dict[str, int] = {p: i for i, p in enumerate(decl.params)}
+        self._counter = 0
+        self.terminated = False
+        #: stack of (continue_target, break_target)
+        self.loop_stack: list[tuple[str, str]] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _var_reg(self, name: str) -> int:
+        reg = self.vars.get(name)
+        if reg is None:
+            raise LoweringError(
+                f"@{self.decl.name}: undefined variable {name!r}"
+            )
+        return reg
+
+    # -- expressions ----------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> int:
+        fb = self.fb
+        if isinstance(expr, ast.Num):
+            return fb.movi(expr.value)
+        if isinstance(expr, ast.Var):
+            return self._var_reg(expr.name)
+        if isinstance(expr, ast.UnOp):
+            value = self.lower_expr(expr.operand)
+            if expr.op == "-":
+                return fb.op(Opcode.NEG, value)
+            if expr.op == "!":
+                return fb.teq(value, fb.movi(0))
+            raise LoweringError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.BinOp):
+            if expr.op in ("&&", "||"):
+                left = self._as_bool(expr.left)
+                right = self._as_bool(expr.right)
+                op = Opcode.AND if expr.op == "&&" else Opcode.OR
+                return fb.op(op, left, right)
+            opcode = _BINOP_OPCODES.get(expr.op)
+            if opcode is None:
+                raise LoweringError(f"unknown operator {expr.op!r}")
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            return fb.op(opcode, left, right)
+        if isinstance(expr, ast.Call):
+            opcode = _FLOAT_BUILTINS.get(expr.callee)
+            if opcode is not None:
+                if len(expr.args) != 2:
+                    raise LoweringError(f"{expr.callee} takes two arguments")
+                return fb.op(
+                    opcode,
+                    self.lower_expr(expr.args[0]),
+                    self.lower_expr(expr.args[1]),
+                )
+            if expr.callee not in self.known:
+                raise LoweringError(f"call to unknown function {expr.callee!r}")
+            args = [self.lower_expr(a) for a in expr.args]
+            return fb.call(expr.callee, *args)
+        if isinstance(expr, ast.Index):
+            base = self.lower_expr(expr.base)
+            if isinstance(expr.index, ast.Num) and isinstance(expr.index.value, int):
+                return fb.load(base, offset=expr.index.value)
+            index = self.lower_expr(expr.index)
+            return fb.load(fb.add(base, index))
+        raise LoweringError(f"cannot lower expression {expr!r}")
+
+    def _as_bool(self, expr: ast.Expr) -> int:
+        """A register guaranteed to hold 0/1 for the expression's truth."""
+        value = self.lower_expr(expr)
+        if isinstance(expr, ast.BinOp) and expr.op in ast.COMPARISONS:
+            return value
+        if isinstance(expr, ast.UnOp) and expr.op == "!":
+            return value
+        return self.fb.tne(value, self.fb.movi(0))
+
+    # -- statements -----------------------------------------------------------
+
+    def lower_stmts(self, stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if self.terminated:
+                break  # unreachable code after return/break/continue
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        fb = self.fb
+        if isinstance(stmt, ast.VarDecl):
+            value = self.lower_expr(stmt.init)
+            if stmt.name in self.vars:
+                fb.mov_to(self.vars[stmt.name], value)
+            else:
+                reg = fb.mov(value)
+                self.vars[stmt.name] = reg
+        elif isinstance(stmt, ast.Assign):
+            value = self.lower_expr(stmt.value)
+            fb.mov_to(self._var_reg(stmt.name), value)
+        elif isinstance(stmt, ast.StoreStmt):
+            base = self.lower_expr(stmt.base)
+            value = self.lower_expr(stmt.value)
+            if isinstance(stmt.index, ast.Num) and isinstance(stmt.index.value, int):
+                fb.store(base, value, offset=stmt.index.value)
+            else:
+                index = self.lower_expr(stmt.index)
+                fb.store(fb.add(base, index), value)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = self.lower_expr(stmt.value) if stmt.value is not None else None
+            fb.ret(value)
+            self.terminated = True
+        elif isinstance(stmt, ast.Break):
+            fb.br(self.loop_stack[-1][1])
+            self.terminated = True
+        elif isinstance(stmt, ast.Continue):
+            fb.br(self.loop_stack[-1][0])
+            self.terminated = True
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        else:
+            raise LoweringError(f"cannot lower statement {stmt!r}")
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        fb = self.fb
+        cond = self._as_bool(stmt.cond)
+        then_name = self._name("then")
+        join_name = self._name("join")
+        else_name = self._name("else") if stmt.orelse else join_name
+        fb.br_cond(cond, then_name, else_name)
+
+        fb.block(then_name)
+        self.terminated = False
+        self.lower_stmts(stmt.then)
+        then_falls = not self.terminated
+        if then_falls:
+            fb.br(join_name)
+
+        else_falls = True
+        if stmt.orelse:
+            fb.block(else_name)
+            self.terminated = False
+            self.lower_stmts(stmt.orelse)
+            else_falls = not self.terminated
+            if else_falls:
+                fb.br(join_name)
+
+        if then_falls or else_falls or not stmt.orelse:
+            fb.block(join_name)
+            self.terminated = False
+        else:
+            self.terminated = True
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        fb = self.fb
+        head = self._name("wh")
+        body = self._name("body")
+        exit_name = self._name("wx")
+        fb.br(head)
+        fb.block(head)
+        cond = self._as_bool(stmt.cond)
+        fb.br_cond(cond, body, exit_name)
+        fb.block(body)
+        self.loop_stack.append((head, exit_name))
+        self.terminated = False
+        self.lower_stmts(stmt.body)
+        if not self.terminated:
+            fb.br(head)
+        self.loop_stack.pop()
+        fb.block(exit_name)
+        self.terminated = False
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        fb = self.fb
+        self.lower_stmt(stmt.init)
+        head = self._name("for")
+        body = self._name("body")
+        latch = self._name("step")
+        exit_name = self._name("fx")
+        fb.br(head)
+        fb.block(head)
+        cond = self._as_bool(stmt.cond)
+        fb.br_cond(cond, body, exit_name)
+        fb.block(body)
+        self.loop_stack.append((latch, exit_name))
+        self.terminated = False
+        self.lower_stmts(stmt.body)
+        if not self.terminated:
+            fb.br(latch)
+        self.loop_stack.pop()
+        fb.block(latch)
+        self.terminated = False
+        self.lower_stmt(stmt.step)
+        fb.br(head)
+        fb.block(exit_name)
+        self.terminated = False
+
+    # -- top level ------------------------------------------------------------
+
+    def lower(self):
+        self.fb.block("entry", entry=True)
+        self.lower_stmts(self.decl.body)
+        if not self.terminated:
+            self.fb.ret(self.fb.movi(0))
+        func = self.fb.finish()
+        func.remove_unreachable_blocks()
+        return func
+
+
+def lower_program(program: ast.Program, name: str = "tl") -> Module:
+    """Lower a parsed TL program to an IR module."""
+    known = {f.name for f in program.functions}
+    module = Module(name)
+    for decl in program.functions:
+        module.add_function(_FunctionLowerer(decl, known).lower())
+    return module

@@ -1,0 +1,247 @@
+"""Recursive-descent parser for TL."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid TL source."""
+
+
+# Binary operator precedence, loosest first.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"line {tok.line}: expected {want!r}, found {tok.text!r}"
+            )
+        return self.advance()
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while not self.check("eof"):
+            functions.append(self.parse_function())
+        return ast.Program(functions)
+
+    def parse_function(self) -> ast.FuncDecl:
+        self.expect("kw", "fn")
+        name = self.expect("name").text
+        self.expect("sym", "(")
+        params = []
+        if not self.check("sym", ")"):
+            params.append(self.expect("name").text)
+            while self.accept("sym", ","):
+                params.append(self.expect("name").text)
+        self.expect("sym", ")")
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, body)
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("sym", "{")
+        stmts = []
+        while not self.check("sym", "}"):
+            stmts.append(self.parse_statement())
+        self.expect("sym", "}")
+        return stmts
+
+    def parse_statement(self) -> ast.Stmt:
+        if self.check("kw", "var"):
+            return self.parse_var_decl()
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.check("kw", "while"):
+            return self.parse_while()
+        if self.check("kw", "for"):
+            return self.parse_for()
+        if self.accept("kw", "return"):
+            value = None
+            if not self.check("sym", ";"):
+                value = self.parse_expr()
+            self.expect("sym", ";")
+            return ast.Return(value)
+        if self.accept("kw", "break"):
+            self.expect("sym", ";")
+            return ast.Break()
+        if self.accept("kw", "continue"):
+            self.expect("sym", ";")
+            return ast.Continue()
+        return self.parse_simple_statement(expect_semicolon=True)
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        self.expect("kw", "var")
+        name = self.expect("name").text
+        self.expect("sym", "=")
+        init = self.parse_expr()
+        self.expect("sym", ";")
+        return ast.VarDecl(name, init)
+
+    def parse_simple_statement(self, expect_semicolon: bool) -> ast.Stmt:
+        """Assignment, indexed store, or expression statement."""
+        start = self.pos
+        if self.check("name"):
+            name = self.advance().text
+            if self.accept("sym", "="):
+                value = self.parse_expr()
+                if expect_semicolon:
+                    self.expect("sym", ";")
+                return ast.Assign(name, value)
+            if self.check("sym", "["):
+                # Could be `a[i] = v;` (store) or `a[i] + ...` (expression).
+                self.advance()
+                index = self.parse_expr()
+                self.expect("sym", "]")
+                if self.accept("sym", "="):
+                    value = self.parse_expr()
+                    if expect_semicolon:
+                        self.expect("sym", ";")
+                    return ast.StoreStmt(ast.Var(name), index, value)
+            self.pos = start  # fall through to expression statement
+        expr = self.parse_expr()
+        if expect_semicolon:
+            self.expect("sym", ";")
+        return ast.ExprStmt(expr)
+
+    def parse_if(self) -> ast.If:
+        self.expect("kw", "if")
+        self.expect("sym", "(")
+        cond = self.parse_expr()
+        self.expect("sym", ")")
+        then = self.parse_block()
+        orelse: list[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                orelse = [self.parse_if()]
+            else:
+                orelse = self.parse_block()
+        return ast.If(cond, then, orelse)
+
+    def parse_while(self) -> ast.While:
+        self.expect("kw", "while")
+        self.expect("sym", "(")
+        cond = self.parse_expr()
+        self.expect("sym", ")")
+        body = self.parse_block()
+        return ast.While(cond, body)
+
+    def parse_for(self) -> ast.For:
+        self.expect("kw", "for")
+        self.expect("sym", "(")
+        if self.check("kw", "var"):
+            self.expect("kw", "var")
+            name = self.expect("name").text
+            self.expect("sym", "=")
+            init: ast.Stmt = ast.VarDecl(name, self.parse_expr())
+        else:
+            name = self.expect("name").text
+            self.expect("sym", "=")
+            init = ast.Assign(name, self.parse_expr())
+        self.expect("sym", ";")
+        cond = self.parse_expr()
+        self.expect("sym", ";")
+        step = self.parse_simple_statement(expect_semicolon=False)
+        if not isinstance(step, ast.Assign):
+            raise ParseError("for-loop step must be an assignment")
+        self.expect("sym", ")")
+        body = self.parse_block()
+        return ast.For(init, cond, step, body)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self, level: int = 0) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_expr(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.peek().kind == "sym" and self.peek().text in ops:
+            op = self.advance().text
+            right = self.parse_expr(level + 1)
+            left = ast.BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept("sym", "-"):
+            return ast.UnOp("-", self.parse_unary())
+        if self.accept("sym", "!"):
+            return ast.UnOp("!", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while self.check("sym", "["):
+            self.advance()
+            index = self.parse_expr()
+            self.expect("sym", "]")
+            expr = ast.Index(expr, index)
+        return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "num":
+            self.advance()
+            return ast.Num(tok.value)
+        if tok.kind == "name":
+            self.advance()
+            if self.accept("sym", "("):
+                args = []
+                if not self.check("sym", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("sym", ","):
+                        args.append(self.parse_expr())
+                self.expect("sym", ")")
+                return ast.Call(tok.text, args)
+            return ast.Var(tok.text)
+        if self.accept("sym", "("):
+            expr = self.parse_expr()
+            self.expect("sym", ")")
+            return expr
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse TL source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()

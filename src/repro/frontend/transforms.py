@@ -1,0 +1,274 @@
+"""AST-level transforms: front-end for-loop unrolling and inlining.
+
+The Scale compiler performs for-loop unrolling and inlining in its front
+end, *before* hyperblock formation (paper Figure 6).  These transforms
+reproduce that: classical for-loop unrolling removes intermediate tests
+(which head duplication cannot — while-loop unrolling must predicate every
+iteration), and is exactly why the paper's microbenchmarks see little extra
+benefit from head duplication on high-trip-count for loops.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.frontend import ast_nodes as ast
+
+
+# ---------------------------------------------------------------------------
+# For-loop unrolling
+# ---------------------------------------------------------------------------
+
+
+def _collect_assigned(stmts: list[ast.Stmt], into: set[str]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Assign, ast.VarDecl)):
+            into.add(stmt.name)
+        elif isinstance(stmt, ast.If):
+            _collect_assigned(stmt.then, into)
+            _collect_assigned(stmt.orelse, into)
+        elif isinstance(stmt, ast.While):
+            _collect_assigned(stmt.body, into)
+        elif isinstance(stmt, ast.For):
+            _collect_assigned([stmt.init, stmt.step], into)
+            _collect_assigned(stmt.body, into)
+
+
+def _has_disallowed(stmts: list[ast.Stmt]) -> bool:
+    """Loops containing control escapes or inner loops are not unrolled."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Return, ast.While, ast.For)):
+            return True
+        if isinstance(stmt, ast.If):
+            if _has_disallowed(stmt.then) or _has_disallowed(stmt.orelse):
+                return True
+    return False
+
+
+def _affine_step(stmt: ast.Assign, var: str) -> Optional[int]:
+    """Return c for steps of the form ``var = var + c`` (c a positive int)."""
+    value = stmt.value
+    if (
+        isinstance(value, ast.BinOp)
+        and value.op == "+"
+        and isinstance(value.left, ast.Var)
+        and value.left.name == var
+        and isinstance(value.right, ast.Num)
+        and isinstance(value.right.value, int)
+        and value.right.value > 0
+    ):
+        return value.right.value
+    return None
+
+
+def _unrollable(loop: ast.For) -> Optional[tuple[str, str, ast.Expr, int]]:
+    """If the loop is a classic affine for loop, return (var, cmp, bound, step)."""
+    init_name = loop.init.name
+    if not isinstance(loop.step, ast.Assign) or loop.step.name != init_name:
+        return None
+    step = _affine_step(loop.step, init_name)
+    if step is None:
+        return None
+    cond = loop.cond
+    if not (
+        isinstance(cond, ast.BinOp)
+        and cond.op in ("<", "<=")
+        and isinstance(cond.left, ast.Var)
+        and cond.left.name == init_name
+    ):
+        return None
+    bound = cond.right
+    if not isinstance(bound, (ast.Num, ast.Var)):
+        return None
+    if _has_disallowed(loop.body):
+        return None
+    assigned: set[str] = set()
+    _collect_assigned(loop.body, assigned)
+    if init_name in assigned:
+        return None
+    if isinstance(bound, ast.Var) and bound.name in assigned:
+        return None
+    return init_name, cond.op, bound, step
+
+
+def _unroll_for(loop: ast.For, factor: int) -> list[ast.Stmt]:
+    """Rewrite one affine for loop into a main unrolled loop + remainder."""
+    info = _unrollable(loop)
+    if info is None or factor < 2:
+        return [loop]
+    var, cmp_op, bound, step = info
+    body = loop.body
+
+    unrolled_body: list[ast.Stmt] = []
+    for k in range(factor):
+        if k:
+            unrolled_body.append(
+                ast.Assign(var, ast.BinOp("+", ast.Var(var), ast.Num(step)))
+            )
+        unrolled_body.extend(copy.deepcopy(body))
+
+    # Main loop: run while iteration i + (factor-1)*step is still valid;
+    # intermediate tests are gone — the point of front-end unrolling.
+    main_cond = ast.BinOp(
+        cmp_op,
+        ast.BinOp("+", ast.Var(var), ast.Num((factor - 1) * step)),
+        copy.deepcopy(bound),
+    )
+    main = ast.For(
+        init=loop.init,
+        cond=main_cond,
+        step=ast.Assign(var, ast.BinOp("+", ast.Var(var), ast.Num(step))),
+        body=unrolled_body,
+    )
+    # Remainder loop (post-conditioning): the leftover < factor iterations.
+    remainder = ast.While(
+        cond=copy.deepcopy(loop.cond),
+        body=copy.deepcopy(body)
+        + [ast.Assign(var, ast.BinOp("+", ast.Var(var), ast.Num(step)))],
+    )
+    return [main, remainder]
+
+
+def _unroll_stmts(stmts: list[ast.Stmt], factor: int) -> list[ast.Stmt]:
+    result: list[ast.Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.If):
+            stmt.then = _unroll_stmts(stmt.then, factor)
+            stmt.orelse = _unroll_stmts(stmt.orelse, factor)
+            result.append(stmt)
+        elif isinstance(stmt, ast.While):
+            stmt.body = _unroll_stmts(stmt.body, factor)
+            result.append(stmt)
+        elif isinstance(stmt, ast.For):
+            stmt.body = _unroll_stmts(stmt.body, factor)
+            result.extend(_unroll_for(stmt, factor))
+        else:
+            result.append(stmt)
+    return result
+
+
+def unroll_for_loops(program: ast.Program, factor: int = 4) -> ast.Program:
+    """Unroll every innermost affine for loop by ``factor`` (in place)."""
+    if factor < 2:
+        return program
+    for func in program.functions:
+        func.body = _unroll_stmts(func.body, factor)
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Inlining
+# ---------------------------------------------------------------------------
+
+
+def _substitute(expr: ast.Expr, bindings: dict[str, ast.Expr]) -> ast.Expr:
+    if isinstance(expr, ast.Num):
+        return ast.Num(expr.value)
+    if isinstance(expr, ast.Var):
+        bound = bindings.get(expr.name)
+        return copy.deepcopy(bound) if bound is not None else ast.Var(expr.name)
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            expr.op,
+            _substitute(expr.left, bindings),
+            _substitute(expr.right, bindings),
+        )
+    if isinstance(expr, ast.UnOp):
+        return ast.UnOp(expr.op, _substitute(expr.operand, bindings))
+    if isinstance(expr, ast.Call):
+        return ast.Call(expr.callee, [_substitute(a, bindings) for a in expr.args])
+    if isinstance(expr, ast.Index):
+        return ast.Index(
+            _substitute(expr.base, bindings), _substitute(expr.index, bindings)
+        )
+    raise TypeError(f"cannot substitute in {expr!r}")
+
+
+def _expression_function(func: ast.FuncDecl) -> Optional[ast.Expr]:
+    """The body expression of a pure single-return function, if it is one."""
+    if len(func.body) != 1 or not isinstance(func.body[0], ast.Return):
+        return None
+    expr = func.body[0].value
+    if expr is None:
+        return None
+
+    def no_self_call(e: ast.Expr) -> bool:
+        if isinstance(e, ast.Call):
+            if e.callee == func.name:
+                return False
+            return all(no_self_call(a) for a in e.args)
+        if isinstance(e, ast.BinOp):
+            return no_self_call(e.left) and no_self_call(e.right)
+        if isinstance(e, ast.UnOp):
+            return no_self_call(e.operand)
+        if isinstance(e, ast.Index):
+            return no_self_call(e.base) and no_self_call(e.index)
+        return True
+
+    return expr if no_self_call(expr) else None
+
+
+def _inline_expr(expr: ast.Expr, table: dict[str, tuple[list[str], ast.Expr]]) -> ast.Expr:
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            expr.op, _inline_expr(expr.left, table), _inline_expr(expr.right, table)
+        )
+    if isinstance(expr, ast.UnOp):
+        return ast.UnOp(expr.op, _inline_expr(expr.operand, table))
+    if isinstance(expr, ast.Index):
+        return ast.Index(
+            _inline_expr(expr.base, table), _inline_expr(expr.index, table)
+        )
+    if isinstance(expr, ast.Call):
+        args = [_inline_expr(a, table) for a in expr.args]
+        entry = table.get(expr.callee)
+        if entry is not None:
+            params, body = entry
+            if len(params) == len(args) and all(
+                isinstance(a, (ast.Num, ast.Var)) for a in args
+            ):
+                return _substitute(body, dict(zip(params, args)))
+        return ast.Call(expr.callee, args)
+    return expr
+
+
+def _inline_stmts(stmts: list[ast.Stmt], table) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, (ast.VarDecl,)):
+            stmt.init = _inline_expr(stmt.init, table)
+        elif isinstance(stmt, ast.Assign):
+            stmt.value = _inline_expr(stmt.value, table)
+        elif isinstance(stmt, ast.StoreStmt):
+            stmt.base = _inline_expr(stmt.base, table)
+            stmt.index = _inline_expr(stmt.index, table)
+            stmt.value = _inline_expr(stmt.value, table)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = _inline_expr(stmt.cond, table)
+            _inline_stmts(stmt.then, table)
+            _inline_stmts(stmt.orelse, table)
+        elif isinstance(stmt, ast.While):
+            stmt.cond = _inline_expr(stmt.cond, table)
+            _inline_stmts(stmt.body, table)
+        elif isinstance(stmt, ast.For):
+            _inline_stmts([stmt.init], table)
+            stmt.cond = _inline_expr(stmt.cond, table)
+            _inline_stmts([stmt.step], table)
+            _inline_stmts(stmt.body, table)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            stmt.value = _inline_expr(stmt.value, table)
+        elif isinstance(stmt, ast.ExprStmt):
+            stmt.expr = _inline_expr(stmt.expr, table)
+
+
+def inline_functions(program: ast.Program) -> ast.Program:
+    """Inline pure expression functions at simple (Num/Var-argument) call
+    sites — the front-end inlining stage of the compiler flow (in place)."""
+    table = {}
+    for func in program.functions:
+        body = _expression_function(func)
+        if body is not None:
+            table[func.name] = (func.params, body)
+    for func in program.functions:
+        _inline_stmts(func.body, table)
+    return program

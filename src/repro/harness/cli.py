@@ -1,0 +1,74 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.harness table1 [--subset ammp_1,sieve] [--out FILE]
+    python -m repro.harness table2
+    python -m repro.harness table3
+    python -m repro.harness figure7
+    python -m repro.harness all --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Optional
+
+from repro.harness.tables import figure7, table1, table2, table3
+
+
+def _parse_subset(text: Optional[str]) -> Optional[list[str]]:
+    if not text:
+        return None
+    return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def run(argv: Optional[list[str]] = None) -> str:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the tables and figures of 'Merging Head "
+        "and Tail Duplication for Convergent Hyperblock Formation' "
+        "(MICRO 2006).",
+    )
+    parser.add_argument(
+        "target",
+        choices=["table1", "table2", "table3", "figure7", "all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "--subset",
+        help="comma-separated benchmark names (default: the full suite)",
+    )
+    parser.add_argument("--out", help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    subset = _parse_subset(args.subset)
+    sections: list[str] = []
+    started = time.time()
+
+    if args.target in ("table1", "figure7", "all"):
+        t1 = table1(subset=subset)
+        if args.target != "figure7":
+            sections.append(t1.format())
+        if args.target in ("figure7", "all"):
+            sections.append(figure7(t1).format())
+    if args.target in ("table2", "all"):
+        sections.append(table2(subset=subset).format())
+    if args.target in ("table3", "all"):
+        sections.append(table3(subset=subset).format())
+
+    report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
+    report += f"\n\n(generated in {time.time() - started:.1f}s)\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+    return report
+
+
+def main() -> None:  # console entry point
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

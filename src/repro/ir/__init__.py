@@ -1,0 +1,63 @@
+"""Predicated RISC-like intermediate representation.
+
+The IR is the substrate every other subsystem operates on: a module of
+functions, each a CFG of basic blocks holding predicated instructions over
+virtual registers.  See DESIGN.md section 5 for the predication model.
+"""
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import FunctionBuilder, build_module
+from repro.ir.function import CFG, Function, Module
+from repro.ir.instruction import Instruction, Predicate
+from repro.ir.opcodes import (
+    BRANCH_OPS,
+    COMMUTATIVE_OPS,
+    INVERTED_TEST,
+    MEMORY_OPS,
+    OP_INFO,
+    PURE_OPS,
+    TEST_OPS,
+    OpInfo,
+    Opcode,
+)
+from repro.ir.dot import function_to_dot
+from repro.ir.printer import cfg_summary, format_block, format_function, format_module
+from repro.ir.textparse import (
+    IRParseError,
+    parse_function_text,
+    parse_instruction,
+    parse_module_text,
+)
+from repro.ir.verify import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "BRANCH_OPS",
+    "CFG",
+    "COMMUTATIVE_OPS",
+    "FunctionBuilder",
+    "Function",
+    "INVERTED_TEST",
+    "Instruction",
+    "MEMORY_OPS",
+    "Module",
+    "OP_INFO",
+    "OpInfo",
+    "Opcode",
+    "PURE_OPS",
+    "Predicate",
+    "TEST_OPS",
+    "VerificationError",
+    "build_module",
+    "cfg_summary",
+    "format_block",
+    "format_function",
+    "format_module",
+    "function_to_dot",
+    "IRParseError",
+    "parse_function_text",
+    "parse_instruction",
+    "parse_module_text",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,161 @@
+"""A small construction DSL for building IR functions by hand.
+
+Used by tests, the paper-figure examples, and anywhere a CFG is easier to
+write directly than in the TL source language::
+
+    fb = FunctionBuilder("main")
+    fb.block("entry")
+    i = fb.movi(0)
+    fb.br("head")
+    fb.block("head")
+    c = fb.tlt(i, fb.movi(10))
+    fb.br_cond(c, "body", "exit")
+    ...
+    func = fb.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function, Module
+from repro.ir.instruction import Instruction, Predicate
+from repro.ir.opcodes import OP_INFO, Opcode
+
+Operand = int  # virtual register number
+
+
+class FunctionBuilder:
+    """Builds a :class:`Function` block by block, in emission order."""
+
+    def __init__(self, name: str, nparams: int = 0):
+        self.func = Function(name, params=list(range(nparams)))
+        self._current: Optional[BasicBlock] = None
+
+    # -- blocks ----------------------------------------------------------
+
+    def block(self, name: str, entry: bool = False) -> BasicBlock:
+        """Create block ``name`` and make it the emission target."""
+        blk = BasicBlock(name)
+        self.func.add_block(blk, entry=entry)
+        self._current = blk
+        return blk
+
+    def switch_to(self, name: str) -> BasicBlock:
+        self._current = self.func.block(name)
+        return self._current
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no current block; call block() first")
+        return self._current
+
+    # -- generic emission -------------------------------------------------
+
+    def emit(self, instr: Instruction) -> Instruction:
+        self.current.append(instr)
+        for reg in instr.defs() + instr.uses():
+            self.func.note_reg(reg)
+        return instr
+
+    def op(
+        self,
+        opcode: Opcode,
+        *srcs: Operand,
+        imm=None,
+        pred: Optional[Predicate] = None,
+    ) -> int:
+        """Emit ``opcode`` and return the fresh destination register."""
+        info = OP_INFO[opcode]
+        if not info.has_dest:
+            raise ValueError(f"{opcode} has no destination; use emit()")
+        dest = self.func.new_reg()
+        self.emit(Instruction(opcode, dest=dest, srcs=srcs, imm=imm, pred=pred))
+        return dest
+
+    # -- arithmetic conveniences ---------------------------------------
+
+    def movi(self, value: Union[int, float], pred=None) -> int:
+        return self.op(Opcode.MOVI, imm=value, pred=pred)
+
+    def mov(self, src: Operand, pred=None) -> int:
+        return self.op(Opcode.MOV, src, pred=pred)
+
+    def mov_to(self, dest: Operand, src: Operand, pred=None) -> Instruction:
+        """``dest = src`` into an *existing* register (loop variables)."""
+        self.func.note_reg(dest)
+        return self.emit(Instruction(Opcode.MOV, dest=dest, srcs=(src,), pred=pred))
+
+    def movi_to(self, dest: Operand, value, pred=None) -> Instruction:
+        self.func.note_reg(dest)
+        return self.emit(Instruction(Opcode.MOVI, dest=dest, imm=value, pred=pred))
+
+    def add(self, a, b, pred=None) -> int:
+        return self.op(Opcode.ADD, a, b, pred=pred)
+
+    def addi(self, a, value, pred=None) -> int:
+        return self.op(Opcode.ADD, a, self.movi(value), pred=pred)
+
+    def sub(self, a, b, pred=None) -> int:
+        return self.op(Opcode.SUB, a, b, pred=pred)
+
+    def mul(self, a, b, pred=None) -> int:
+        return self.op(Opcode.MUL, a, b, pred=pred)
+
+    def div(self, a, b, pred=None) -> int:
+        return self.op(Opcode.DIV, a, b, pred=pred)
+
+    def teq(self, a, b, pred=None) -> int:
+        return self.op(Opcode.TEQ, a, b, pred=pred)
+
+    def tne(self, a, b, pred=None) -> int:
+        return self.op(Opcode.TNE, a, b, pred=pred)
+
+    def tlt(self, a, b, pred=None) -> int:
+        return self.op(Opcode.TLT, a, b, pred=pred)
+
+    def tge(self, a, b, pred=None) -> int:
+        return self.op(Opcode.TGE, a, b, pred=pred)
+
+    def load(self, addr: Operand, offset: int = 0, pred=None) -> int:
+        return self.op(Opcode.LOAD, addr, imm=offset, pred=pred)
+
+    def store(self, addr: Operand, value: Operand, offset: int = 0, pred=None):
+        return self.emit(
+            Instruction(Opcode.STORE, srcs=(addr, value), imm=offset, pred=pred)
+        )
+
+    def call(self, callee: str, *args: Operand, pred=None) -> int:
+        dest = self.func.new_reg()
+        self.emit(
+            Instruction(Opcode.CALL, dest=dest, srcs=args, callee=callee, pred=pred)
+        )
+        return dest
+
+    # -- control flow -----------------------------------------------------
+
+    def br(self, target: str, pred: Optional[Predicate] = None) -> Instruction:
+        return self.emit(Instruction(Opcode.BR, target=target, pred=pred))
+
+    def br_cond(self, cond: Operand, if_true: str, if_false: str) -> None:
+        """The canonical conditional branch: two complementary predicated BRs."""
+        self.br(if_true, pred=Predicate(cond, True))
+        self.br(if_false, pred=Predicate(cond, False))
+
+    def ret(self, value: Optional[Operand] = None, pred=None) -> Instruction:
+        srcs = (value,) if value is not None else ()
+        return self.emit(Instruction(Opcode.RET, srcs=srcs, pred=pred))
+
+    # -- completion ---------------------------------------------------------
+
+    def finish(self) -> Function:
+        return self.func
+
+
+def build_module(*functions: Function, name: str = "module") -> Module:
+    mod = Module(name)
+    for func in functions:
+        mod.add_function(func)
+    return mod

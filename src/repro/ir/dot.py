@@ -1,0 +1,59 @@
+"""Graphviz DOT export of control-flow graphs.
+
+Handy for reading formation results: blocks are shaded by how full they
+are relative to the TRIPS 128-instruction format, loop back edges are
+dashed, and edge labels carry the branch predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.loops import LoopForest
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+
+
+def _shade(fraction: float) -> str:
+    """Gray level: empty blocks white, full blocks dark."""
+    level = max(0, min(9, int(10 - fraction * 7)))
+    return f"gray{level * 10 or 10}"
+
+
+def function_to_dot(
+    func: Function,
+    slot_size: int = 128,
+    name: Optional[str] = None,
+) -> str:
+    """Render ``func``'s CFG as a DOT digraph string."""
+    forest = LoopForest(func)
+    lines = [f'digraph "{name or func.name}" {{',
+             '  node [shape=box, style=filled, fontname="monospace"];']
+    for block_name, block in func.blocks.items():
+        fraction = min(len(block) / slot_size, 1.0)
+        label = f"{block_name}\\n{len(block)} instrs"
+        entry = ", penwidth=2" if block_name == func.entry else ""
+        lines.append(
+            f'  "{block_name}" [label="{label}", '
+            f'fillcolor={_shade(fraction)}{entry}];'
+        )
+    for block_name, block in func.blocks.items():
+        for instr in block.instrs:
+            if instr.op is not Opcode.BR or instr.target is None:
+                continue
+            attrs = []
+            if instr.pred is not None:
+                mark = "" if instr.pred.sense else "!"
+                attrs.append(f'label="{mark}v{instr.pred.reg}"')
+            if forest.is_back_edge(block_name, instr.target):
+                attrs.append("style=dashed")
+            attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f'  "{block_name}" -> "{instr.target}"{attr_text};')
+        if block.has_return():
+            lines.append(
+                f'  "{block_name}" -> "return" [style=dotted];'
+            )
+    if any(b.has_return() for b in func.blocks.values()):
+        lines.append('  "return" [shape=ellipse, fillcolor=white];')
+    lines.append("}")
+    return "\n".join(lines)

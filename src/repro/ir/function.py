@@ -1,0 +1,173 @@
+"""Functions, modules, and control-flow-graph views."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.block import BasicBlock
+
+
+class CFG:
+    """An immutable successor/predecessor view of a function's blocks.
+
+    Recomputed from branch targets on demand; transforms mutate blocks and
+    then simply ask for a fresh view.
+    """
+
+    __slots__ = ("succs", "preds")
+
+    def __init__(self, func: "Function"):
+        self.succs: dict[str, list[str]] = {}
+        self.preds: dict[str, list[str]] = {name: [] for name in func.blocks}
+        for name, block in func.blocks.items():
+            succ = block.successors()
+            self.succs[name] = succ
+            for target in succ:
+                if target in self.preds:
+                    self.preds[target].append(name)
+
+    def num_preds(self, name: str) -> int:
+        return len(self.preds.get(name, []))
+
+
+class Function:
+    """A function: an entry block plus a set of named basic blocks.
+
+    The function owns the virtual-register namespace (``new_reg``) and the
+    block-name namespace (``new_block_name``), so transforms that duplicate
+    code can mint fresh names without collisions.
+    """
+
+    def __init__(self, name: str, params: Optional[list[int]] = None):
+        self.name = name
+        self.params: list[int] = list(params) if params else []
+        self.blocks: dict[str, BasicBlock] = {}
+        self.entry: Optional[str] = None
+        self._next_reg = (max(self.params) + 1) if self.params else 0
+        self._name_counter = 0
+
+    # -- namespaces ---------------------------------------------------------
+
+    def new_reg(self) -> int:
+        reg = self._next_reg
+        self._next_reg += 1
+        return reg
+
+    def note_reg(self, reg: int) -> int:
+        """Record that ``reg`` is in use (keeps ``new_reg`` collision-free)."""
+        if reg >= self._next_reg:
+            self._next_reg = reg + 1
+        return reg
+
+    def max_reg(self) -> int:
+        return self._next_reg
+
+    def new_block_name(self, base: str, tag: str = "x") -> str:
+        """A fresh block name derived from ``base``, e.g. ``loop.d3``."""
+        root = base.split(".")[0]
+        while True:
+            self._name_counter += 1
+            candidate = f"{root}.{tag}{self._name_counter}"
+            if candidate not in self.blocks:
+                return candidate
+
+    # -- block management -----------------------------------------------
+
+    def add_block(self, block: BasicBlock, entry: bool = False) -> BasicBlock:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block name {block.name!r}")
+        self.blocks[block.name] = block
+        if entry or self.entry is None:
+            self.entry = block.name
+        for instr in block:
+            for reg in instr.defs() + instr.uses():
+                self.note_reg(reg)
+        return block
+
+    def remove_block(self, name: str) -> None:
+        if name == self.entry:
+            raise ValueError(f"cannot remove entry block {name!r}")
+        del self.blocks[name]
+
+    def block(self, name: str) -> BasicBlock:
+        return self.blocks[name]
+
+    def entry_block(self) -> BasicBlock:
+        assert self.entry is not None, "function has no entry block"
+        return self.blocks[self.entry]
+
+    def cfg(self) -> CFG:
+        return CFG(self)
+
+    # -- whole-function queries ---------------------------------------------
+
+    def instructions(self) -> Iterator:
+        for block in self.blocks.values():
+            yield from block.instrs
+
+    def size(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+    def remove_unreachable_blocks(self) -> list[str]:
+        """Drop blocks not reachable from the entry; return removed names."""
+        assert self.entry is not None
+        reachable: set[str] = set()
+        stack = [self.entry]
+        while stack:
+            name = stack.pop()
+            if name in reachable or name not in self.blocks:
+                continue
+            reachable.add(name)
+            stack.extend(self.blocks[name].successors())
+        removed = [name for name in self.blocks if name not in reachable]
+        for name in removed:
+            del self.blocks[name]
+        return removed
+
+    def copy(self) -> "Function":
+        """Deep copy with identical block names and register numbers."""
+        clone = Function(self.name, list(self.params))
+        for name, block in self.blocks.items():
+            clone.blocks[name] = block.copy(name)
+        clone.entry = self.entry
+        clone._next_reg = self._next_reg
+        clone._name_counter = self._name_counter
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<Function @{self.name} [{len(self.blocks)} blocks]>"
+
+
+class Module:
+    """A collection of functions; ``main`` is the conventional entry point."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function @{func.name}")
+        self.functions[func.name] = func
+        return func
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def copy(self) -> "Module":
+        clone = Module(self.name)
+        for func in self:
+            clone.add_function(func.copy())
+        return clone
+
+    def size(self) -> int:
+        return sum(f.size() for f in self)
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} [{len(self.functions)} functions]>"

@@ -1,0 +1,175 @@
+"""Opcode definitions for the RISC-like predicated IR.
+
+The instruction set is deliberately TRIPS-flavored: test instructions
+produce boolean (0/1) values into ordinary registers, which then feed
+predicated instructions and predicated branches.  There are no condition
+codes.  Every branch is an unconditional ``BR`` that may carry a predicate;
+conditional control flow is expressed as two complementary predicated
+branches, which is exactly the form hyperblock formation wants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    """All operations understood by the IR, interpreter and timing model."""
+
+    # Integer arithmetic / logic.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+
+    # Floating point (distinct latencies in the timing model).
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+
+    # Moves.  MOV copies a register, MOVI materializes an immediate.
+    MOV = "mov"
+    MOVI = "movi"
+
+    # Tests: produce 1 if the relation holds, else 0.
+    TEQ = "teq"
+    TNE = "tne"
+    TLT = "tlt"
+    TLE = "tle"
+    TGT = "tgt"
+    TGE = "tge"
+
+    # Memory.  Address is ``src0 + imm``; STORE stores src1.
+    LOAD = "load"
+    STORE = "store"
+
+    # Control.
+    BR = "br"  # unconditional (possibly predicated) branch to a block
+    RET = "ret"  # return from function; optional value in src0
+    CALL = "call"  # call `callee` with srcs as args, result into dest
+
+    # Backend-only pseudo ops.
+    NULLW = "nullw"  # null register write (fixed-output padding)
+    NULLS = "nulls"  # null store (fixed-output padding)
+    FANOUT = "fanout"  # value replication mov inserted by the backend
+
+
+#: Opcodes that transfer control out of a block.
+BRANCH_OPS = frozenset({Opcode.BR, Opcode.RET})
+
+#: Opcodes that compare and produce a 0/1 value.
+TEST_OPS = frozenset(
+    {Opcode.TEQ, Opcode.TNE, Opcode.TLT, Opcode.TLE, Opcode.TGT, Opcode.TGE}
+)
+
+#: Opcodes that touch memory (consume load/store identifiers on TRIPS).
+MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.STORE})
+
+FLOAT_OPS = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+
+#: Commutative binary operations, used by value numbering to canonicalize.
+COMMUTATIVE_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.MUL,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.FADD,
+        Opcode.FMUL,
+        Opcode.TEQ,
+        Opcode.TNE,
+    }
+)
+
+#: Operations that are pure functions of their operands (safe for GVN/DCE).
+PURE_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.NEG,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.MOV,
+        Opcode.MOVI,
+    }
+    | TEST_OPS
+)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an opcode used by the verifier and simulators."""
+
+    nsrcs: int
+    has_dest: bool
+    latency: int  # execution latency in cycles for the timing model
+
+
+_DEFAULT_ALU = OpInfo(nsrcs=2, has_dest=True, latency=1)
+
+OP_INFO: dict[Opcode, OpInfo] = {
+    Opcode.ADD: _DEFAULT_ALU,
+    Opcode.SUB: _DEFAULT_ALU,
+    Opcode.MUL: OpInfo(2, True, 3),
+    Opcode.DIV: OpInfo(2, True, 18),
+    Opcode.MOD: OpInfo(2, True, 18),
+    Opcode.NEG: OpInfo(1, True, 1),
+    Opcode.AND: _DEFAULT_ALU,
+    Opcode.OR: _DEFAULT_ALU,
+    Opcode.XOR: _DEFAULT_ALU,
+    Opcode.NOT: OpInfo(1, True, 1),
+    Opcode.SHL: _DEFAULT_ALU,
+    Opcode.SHR: _DEFAULT_ALU,
+    Opcode.FADD: OpInfo(2, True, 4),
+    Opcode.FSUB: OpInfo(2, True, 4),
+    Opcode.FMUL: OpInfo(2, True, 5),
+    Opcode.FDIV: OpInfo(2, True, 24),
+    Opcode.MOV: OpInfo(1, True, 1),
+    Opcode.MOVI: OpInfo(0, True, 1),
+    Opcode.TEQ: _DEFAULT_ALU,
+    Opcode.TNE: _DEFAULT_ALU,
+    Opcode.TLT: _DEFAULT_ALU,
+    Opcode.TLE: _DEFAULT_ALU,
+    Opcode.TGT: _DEFAULT_ALU,
+    Opcode.TGE: _DEFAULT_ALU,
+    Opcode.LOAD: OpInfo(1, True, 5),
+    Opcode.STORE: OpInfo(2, False, 1),
+    Opcode.BR: OpInfo(0, False, 1),
+    Opcode.RET: OpInfo(0, False, 1),
+    Opcode.CALL: OpInfo(0, True, 1),  # nsrcs is variable for CALL
+    Opcode.NULLW: OpInfo(0, True, 1),
+    Opcode.NULLS: OpInfo(0, False, 1),
+    Opcode.FANOUT: OpInfo(1, True, 1),
+}
+
+#: Inverse of each test, used by predicate optimization and branch folding.
+INVERTED_TEST: dict[Opcode, Opcode] = {
+    Opcode.TEQ: Opcode.TNE,
+    Opcode.TNE: Opcode.TEQ,
+    Opcode.TLT: Opcode.TGE,
+    Opcode.TGE: Opcode.TLT,
+    Opcode.TGT: Opcode.TLE,
+    Opcode.TLE: Opcode.TGT,
+}

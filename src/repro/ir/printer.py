@@ -1,0 +1,41 @@
+"""Textual rendering of IR modules, functions and blocks."""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function, Module
+
+
+def format_block(block: BasicBlock, indent: str = "  ") -> str:
+    lines = [f"{block.name}:"]
+    for instr in block:
+        lines.append(f"{indent}{instr!r}")
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(f"v{p}" for p in func.params)
+    lines = [f"func @{func.name}({params}) {{"]
+    # Entry first, remaining blocks in insertion order.
+    names = list(func.blocks)
+    if func.entry in names:
+        names.remove(func.entry)
+        names.insert(0, func.entry)
+    for name in names:
+        lines.append(format_block(func.blocks[name]))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(mod: Module) -> str:
+    return "\n\n".join(format_function(f) for f in mod)
+
+
+def cfg_summary(func: Function) -> str:
+    """One line per block: name, size, successor list."""
+    lines = []
+    for name, block in func.blocks.items():
+        succs = ", ".join(block.successors()) or "-"
+        marker = "*" if name == func.entry else " "
+        lines.append(f"{marker}{name:24s} {len(block):4d} instrs -> {succs}")
+    return "\n".join(lines)

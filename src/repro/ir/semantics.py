@@ -1,0 +1,55 @@
+"""Evaluation semantics for binary operations.
+
+Shared by the functional simulator (execution) and the optimizer
+(constant folding) so the two can never disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.opcodes import Opcode
+
+
+class EvaluationError(Exception):
+    """Raised for undefined arithmetic (division by zero)."""
+
+
+def int_div(a, b):
+    """C-style division: floats divide exactly, ints truncate toward zero."""
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    if b == 0:
+        raise EvaluationError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def int_mod(a, b):
+    if b == 0:
+        raise EvaluationError("integer modulo by zero")
+    return a - int_div(a, b) * b
+
+
+EVAL_BINOP: dict[Opcode, Callable] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: int_div,
+    Opcode.MOD: int_mod,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << b,
+    Opcode.SHR: lambda a, b: a >> b,
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: a / b,
+    Opcode.TEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.TNE: lambda a, b: 1 if a != b else 0,
+    Opcode.TLT: lambda a, b: 1 if a < b else 0,
+    Opcode.TLE: lambda a, b: 1 if a <= b else 0,
+    Opcode.TGT: lambda a, b: 1 if a > b else 0,
+    Opcode.TGE: lambda a, b: 1 if a >= b else 0,
+}

@@ -1,0 +1,155 @@
+"""Parser for the textual IR form produced by :mod:`repro.ir.printer`.
+
+Round-tripping ``format_function`` output makes IR dumps usable as test
+fixtures and lets transformed programs be saved and reloaded.  The grammar
+is exactly what ``Instruction.__repr__`` emits::
+
+    func @name(v0, v1) {
+    block:
+      v2 = add v0, v1
+      store v2, v0, 4
+      br target if !v2
+      ret v2
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function, Module
+from repro.ir.instruction import Instruction, Predicate
+from repro.ir.opcodes import Opcode
+
+_FUNC_RE = re.compile(r"func @(\w+)\(([^)]*)\)\s*\{")
+_BLOCK_RE = re.compile(r"^(\S+):$")
+_REG_RE = re.compile(r"^v(\d+)$")
+
+_OPCODES = {op.value: op for op in Opcode}
+
+
+class IRParseError(Exception):
+    """Raised on malformed textual IR."""
+
+
+def _parse_operand(text: str):
+    """Classify one operand: register, immediate, callee, or target."""
+    text = text.strip()
+    match = _REG_RE.match(text)
+    if match:
+        return ("reg", int(match.group(1)))
+    if text.startswith("@"):
+        return ("callee", text[1:])
+    try:
+        return ("imm", int(text))
+    except ValueError:
+        pass
+    try:
+        return ("imm", float(text))
+    except ValueError:
+        pass
+    return ("target", text)
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one instruction line (without indentation)."""
+    text = line.strip()
+    pred: Optional[Predicate] = None
+    if " if " in text:
+        text, _, guard = text.rpartition(" if ")
+        guard = guard.strip()
+        sense = not guard.startswith("!")
+        match = _REG_RE.match(guard.lstrip("!"))
+        if not match:
+            raise IRParseError(f"bad predicate {guard!r}")
+        pred = Predicate(int(match.group(1)), sense)
+
+    dest: Optional[int] = None
+    if " = " in text:
+        dest_text, _, text = text.partition(" = ")
+        match = _REG_RE.match(dest_text.strip())
+        if not match:
+            raise IRParseError(f"bad destination {dest_text!r}")
+        dest = int(match.group(1))
+
+    parts = text.strip().split(None, 1)
+    if not parts:
+        raise IRParseError(f"empty instruction in {line!r}")
+    opname = parts[0]
+    op = _OPCODES.get(opname)
+    if op is None:
+        raise IRParseError(f"unknown opcode {opname!r}")
+
+    srcs: list[int] = []
+    imm = None
+    target = None
+    callee = None
+    if len(parts) > 1:
+        for raw in parts[1].split(","):
+            kind, value = _parse_operand(raw)
+            if kind == "reg":
+                srcs.append(value)
+            elif kind == "imm":
+                imm = value
+            elif kind == "callee":
+                callee = value
+            else:
+                target = value
+    return Instruction(
+        op, dest=dest, srcs=srcs, imm=imm, target=target, callee=callee,
+        pred=pred,
+    )
+
+
+def parse_function_text(text: str) -> Function:
+    """Parse one ``func @name(...) { ... }`` body."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise IRParseError("empty function text")
+    header = _FUNC_RE.match(lines[0].strip())
+    if not header:
+        raise IRParseError(f"bad function header {lines[0]!r}")
+    name = header.group(1)
+    params = []
+    for param in header.group(2).split(","):
+        param = param.strip()
+        if param:
+            match = _REG_RE.match(param)
+            if not match:
+                raise IRParseError(f"bad parameter {param!r}")
+            params.append(int(match.group(1)))
+    func = Function(name, params=params)
+
+    current: Optional[BasicBlock] = None
+    first = True
+    for line in lines[1:]:
+        stripped = line.strip()
+        if stripped == "}":
+            break
+        match = _BLOCK_RE.match(stripped)
+        if match and not line.startswith("  "):
+            current = BasicBlock(match.group(1))
+            func.add_block(current, entry=first)
+            first = False
+            continue
+        if current is None:
+            raise IRParseError(f"instruction outside a block: {line!r}")
+        current.append(parse_instruction(stripped))
+    # Register every mentioned register with the namespace.
+    for instr in func.instructions():
+        for reg in instr.defs() + instr.uses():
+            func.note_reg(reg)
+    return func
+
+
+def parse_module_text(text: str, name: str = "parsed") -> Module:
+    """Parse the output of :func:`repro.ir.printer.format_module`."""
+    module = Module(name)
+    # Split on 'func @' boundaries at top level.
+    chunks = re.split(r"(?m)^(?=func @)", text)
+    for chunk in chunks:
+        if chunk.strip():
+            module.add_function(parse_function_text(chunk))
+    return module

@@ -1,0 +1,86 @@
+"""Structural verification of IR functions.
+
+The verifier checks invariants every transform must preserve.  Dynamic
+invariants (exactly one branch fires per block execution) are enforced by
+the functional simulator; this module covers the static ones.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import OP_INFO, Opcode
+
+
+class VerificationError(Exception):
+    """Raised when an IR function violates a structural invariant."""
+
+
+def verify_instruction(instr: Instruction, func: Function) -> None:
+    info = OP_INFO[instr.op]
+    if instr.op is not Opcode.CALL and len(instr.srcs) != info.nsrcs:
+        # RET may carry zero or one source.
+        if not (instr.op is Opcode.RET and len(instr.srcs) <= 1):
+            raise VerificationError(
+                f"@{func.name}: {instr!r} has {len(instr.srcs)} sources, "
+                f"expected {info.nsrcs}"
+            )
+    if info.has_dest and instr.dest is None and instr.op is not Opcode.CALL:
+        raise VerificationError(f"@{func.name}: {instr!r} missing destination")
+    if not info.has_dest and instr.dest is not None:
+        raise VerificationError(f"@{func.name}: {instr!r} must not write a register")
+    if instr.op is Opcode.BR:
+        if instr.target is None:
+            raise VerificationError(f"@{func.name}: BR without target")
+        if instr.target not in func.blocks:
+            raise VerificationError(
+                f"@{func.name}: branch to unknown block {instr.target!r}"
+            )
+    elif instr.target is not None:
+        raise VerificationError(f"@{func.name}: {instr!r} must not have a target")
+    if instr.op is Opcode.CALL and instr.callee is None:
+        raise VerificationError(f"@{func.name}: CALL without callee")
+    if instr.op is Opcode.MOVI and instr.imm is None:
+        raise VerificationError(f"@{func.name}: MOVI without immediate")
+
+
+def verify_function(func: Function) -> None:
+    """Raise :class:`VerificationError` on any broken invariant."""
+    if func.entry is None or func.entry not in func.blocks:
+        raise VerificationError(f"@{func.name}: missing entry block")
+    seen_uids: set[int] = set()
+    for name, block in func.blocks.items():
+        if block.name != name:
+            raise VerificationError(
+                f"@{func.name}: block registered as {name!r} is named {block.name!r}"
+            )
+        branches = block.branches()
+        if not branches:
+            raise VerificationError(f"@{func.name}/{name}: block has no branch")
+        unpredicated = [b for b in branches if b.pred is None]
+        # Branch predicates must partition the execution space.  The static
+        # approximation: an unpredicated branch (always fires) is only legal
+        # when it is the block's sole branch; otherwise every branch carries
+        # a predicate and the functional simulator checks exactly-one-fires.
+        if unpredicated and len(branches) > 1:
+            raise VerificationError(
+                f"@{func.name}/{name}: unpredicated branch coexists with "
+                f"other branches"
+            )
+        for instr in block:
+            verify_instruction(instr, func)
+            if instr.uid in seen_uids:
+                raise VerificationError(
+                    f"@{func.name}/{name}: duplicate instruction uid {instr.uid}"
+                )
+            seen_uids.add(instr.uid)
+
+
+def verify_module(mod: Module) -> None:
+    for func in mod:
+        verify_function(func)
+        for instr in func.instructions():
+            if instr.op is Opcode.CALL and instr.callee not in mod:
+                raise VerificationError(
+                    f"@{func.name}: call to unknown function @{instr.callee}"
+                )

@@ -1,0 +1,456 @@
+"""Block-local scalar optimization — the ``Optimize`` step of Figure 5.
+
+Convergent hyperblock formation calls this on every trial merge, so the
+passes here are exactly the ones the paper names:
+
+- copy propagation and constant folding,
+- (predicate-aware) value numbering, including *instruction merging*:
+  identical computations on complementary predicate paths — the classic
+  redundancy tail duplication creates — collapse into one unpredicated
+  instruction,
+- *implicit predication* (the paper's predicate optimization [25]): an
+  instruction whose consumers are all guarded by a predicate implying its
+  own can drop its predicate, shrinking the predicate's fanout and
+  shortening the dataflow critical path,
+- dead-code elimination against the block's live-out set.
+
+All passes run to a bounded fixpoint.  They are deliberately block-local:
+after formation, hyperblocks *are* the interesting optimization scope.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.instruction import Instruction, Predicate
+from repro.ir.opcodes import COMMUTATIVE_OPS, Opcode
+from repro.ir.semantics import EVAL_BINOP as _BINOPS
+
+
+def optimize_block(
+    block: BasicBlock,
+    live_out: set[int],
+    max_rounds: int = 4,
+) -> bool:
+    """Optimize ``block`` in place; return whether anything changed."""
+    changed_any = False
+    for _ in range(max_rounds):
+        changed = False
+        changed |= propagate_and_fold(block)
+        changed |= value_number(block)
+        changed |= fold_moves(block, live_out)
+        changed |= implicit_predication(block, live_out)
+        changed |= eliminate_dead_code(block, live_out)
+        changed_any |= changed
+        if not changed:
+            break
+    return changed_any
+
+
+# ---------------------------------------------------------------------------
+# Copy propagation and constant folding
+# ---------------------------------------------------------------------------
+
+
+def propagate_and_fold(block: BasicBlock) -> bool:
+    """Forward-propagate unpredicated copies/constants; fold constants."""
+    changed = False
+    copies: dict[int, int] = {}  # reg -> equivalent earlier reg
+    consts: dict[int, object] = {}  # reg -> constant value
+
+    def invalidate(reg: int) -> None:
+        copies.pop(reg, None)
+        consts.pop(reg, None)
+        for key in [k for k, v in copies.items() if v == reg]:
+            del copies[key]
+
+    for instr in block.instrs:
+        # Rewrite sources through the copy map.
+        if instr.srcs:
+            new_srcs = tuple(copies.get(s, s) for s in instr.srcs)
+            if new_srcs != instr.srcs:
+                instr.srcs = new_srcs
+                changed = True
+        if instr.pred is not None and instr.pred.reg in copies:
+            instr.pred = Predicate(copies[instr.pred.reg], instr.pred.sense)
+            changed = True
+
+        # Constant-fold pure operations with all-constant inputs.
+        folder = _BINOPS.get(instr.op)
+        if (
+            folder is not None
+            and len(instr.srcs) == 2
+            and instr.srcs[0] in consts
+            and instr.srcs[1] in consts
+        ):
+            try:
+                value = folder(consts[instr.srcs[0]], consts[instr.srcs[1]])
+            except Exception:
+                value = None
+            if value is not None:
+                instr.op = Opcode.MOVI
+                instr.srcs = ()
+                instr.imm = value
+                changed = True
+        elif instr.op is Opcode.NOT and instr.srcs[0] in consts:
+            instr.op = Opcode.MOVI
+            instr.imm = 0 if consts[instr.srcs[0]] else 1
+            instr.srcs = ()
+            changed = True
+        elif instr.op is Opcode.NEG and instr.srcs[0] in consts:
+            instr.op = Opcode.MOVI
+            instr.imm = -consts[instr.srcs[0]]
+            instr.srcs = ()
+            changed = True
+
+        # Record new facts (only unpredicated defs produce reliable facts).
+        if instr.dest is not None:
+            invalidate(instr.dest)
+            if instr.pred is None:
+                if instr.op is Opcode.MOVI:
+                    consts[instr.dest] = instr.imm
+                elif instr.op is Opcode.MOV and instr.srcs[0] != instr.dest:
+                    copies[instr.dest] = instr.srcs[0]
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Predicate-aware value numbering / instruction merging
+# ---------------------------------------------------------------------------
+
+
+def _vn_key(instr: Instruction, mem_epoch: int):
+    srcs = instr.srcs
+    if instr.op in COMMUTATIVE_OPS and len(srcs) == 2 and srcs[0] > srcs[1]:
+        srcs = (srcs[1], srcs[0])
+    if instr.op is Opcode.LOAD:
+        return (instr.op, srcs, instr.imm, mem_epoch)
+    return (instr.op, srcs, instr.imm)
+
+
+def _complementary(a: Optional[Predicate], b: Optional[Predicate]) -> bool:
+    return (
+        a is not None
+        and b is not None
+        and a.reg == b.reg
+        and a.sense != b.sense
+    )
+
+
+def _reads_between(block: BasicBlock, lo: int, hi: int, reg: int) -> bool:
+    for idx in range(lo + 1, hi):
+        if reg in block.instrs[idx].uses():
+            return True
+    return False
+
+
+def value_number(block: BasicBlock) -> bool:
+    """Remove redundant computations; merge complementary-path duplicates."""
+    changed = False
+    table: dict = {}  # key -> (index of providing instr)
+    mem_epoch = 0
+    instrs = block.instrs
+    remove: set[int] = set()
+
+    def invalidate_reg(reg: int) -> None:
+        stale = []
+        for key, idx in table.items():
+            provider = instrs[idx]
+            if (
+                reg in key[1]
+                or provider.dest == reg
+                or (provider.pred is not None and provider.pred.reg == reg)
+            ):
+                stale.append(key)
+        for key in stale:
+            del table[key]
+
+    for i, instr in enumerate(instrs):
+        if i in remove:
+            continue
+        if instr.op is Opcode.STORE:
+            mem_epoch += 1
+        eligible = (
+            instr.is_pure or instr.op is Opcode.LOAD
+        ) and instr.dest is not None
+        if not eligible:
+            if instr.dest is not None:
+                invalidate_reg(instr.dest)
+            continue
+        key = _vn_key(instr, mem_epoch)
+        if instr.dest in key[1]:
+            # Self-referential (dest is also a source): the table entry
+            # would describe the *old* value of the source, which this
+            # instruction just overwrote — never record or match it.
+            invalidate_reg(instr.dest)
+            continue
+        prev_idx = table.get(key)
+        if prev_idx is None:
+            invalidate_reg(instr.dest)
+            table[key] = i
+            continue
+        prev = instrs[prev_idx]
+        merged = False
+        if prev.pred is None or (
+            prev.pred is not None
+            and instr.pred is not None
+            and prev.pred == instr.pred
+        ):
+            # The value is available whenever instr would execute.
+            if prev.dest == instr.dest:
+                if not _reads_between(block, prev_idx, i, instr.dest):
+                    remove.add(i)
+                    merged = True
+            else:
+                invalidate_reg(instr.dest)
+                instr.op = Opcode.MOV
+                instr.srcs = (prev.dest,)
+                instr.imm = None
+                merged = True
+        if (
+            not merged
+            and _complementary(prev.pred, instr.pred)
+            and prev.dest == instr.dest
+            and not _reads_between(block, prev_idx, i, instr.dest)
+        ):
+            # Instruction merging: the same computation on both sides of a
+            # predicate collapses to one unconditional instruction.
+            prev.pred = None
+            remove.add(i)
+            merged = True
+        if merged:
+            changed = True
+        else:
+            invalidate_reg(instr.dest)
+            table[key] = i
+
+    if remove:
+        block.instrs = [ins for j, ins in enumerate(instrs) if j not in remove]
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Move folding
+# ---------------------------------------------------------------------------
+
+
+def fold_moves(block: BasicBlock, live_out: set[int]) -> bool:
+    """Fold ``t = op(...); r = mov t [if g]`` into ``r = op(...) [if g]``.
+
+    The write-back mov that non-SSA lowering produces for every variable
+    update doubles the latency of loop-carried dependence chains; a real
+    code generator writes the destination directly.  Safe when ``t`` has no
+    other consumers and is not live-out, the producer is an unpredicated
+    pure op (or load), and ``r`` is neither read nor written between the
+    two instructions.
+    """
+    instrs = block.instrs
+    use_counts: dict[int, int] = {}
+    for instr in instrs:
+        for reg in instr.uses():
+            use_counts[reg] = use_counts.get(reg, 0) + 1
+
+    changed = False
+    remove: set[int] = set()
+    producer_at: dict[int, int] = {}  # reg -> index of latest producer
+    for j, instr in enumerate(instrs):
+        if (
+            instr.op is Opcode.MOV
+            and instr.dest is not None
+            and j not in remove
+        ):
+            t = instr.srcs[0]
+            r = instr.dest
+            i = producer_at.get(t)
+            if (
+                i is not None
+                and i not in remove
+                and t != r
+                and t not in live_out
+                and use_counts.get(t, 0) == 1
+            ):
+                producer = instrs[i]
+                # The producer is *moved down* into the mov's slot, so its
+                # predicate context is the mov's own; its sources must not
+                # be redefined in between (the mov's position defines when
+                # the guard and the old value of r are observed, so those
+                # need no checks).
+                ok = (
+                    producer.pred is None
+                    and (producer.is_pure or producer.op is Opcode.LOAD)
+                    and producer.dest == t
+                )
+                if ok:
+                    producer_srcs = set(producer.srcs)
+                    is_load = producer.op is Opcode.LOAD
+                    for k in range(i + 1, j):
+                        if k in remove:
+                            continue
+                        dest_k = instrs[k].dest
+                        if dest_k is not None and dest_k in producer_srcs:
+                            ok = False
+                            break
+                        if is_load and instrs[k].op is Opcode.STORE:
+                            ok = False
+                            break
+                if ok:
+                    producer.dest = r
+                    producer.pred = instr.pred
+                    instrs[j] = producer
+                    remove.add(i)
+                    changed = True
+                    producer_at[r] = j
+        if instr.dest is not None and j not in remove:
+            producer_at[instr.dest] = j
+
+    if remove:
+        block.instrs = [ins for k, ins in enumerate(instrs) if k not in remove]
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Implicit predication (predicate use reduction)
+# ---------------------------------------------------------------------------
+
+
+def _implication_edges(
+    block: BasicBlock,
+) -> tuple[dict[tuple[int, bool], set[tuple[int, bool]]], dict[int, int]]:
+    """Facts of the form ``atom -> implied atom`` from single-def predicate
+    combinators (AND / NOT / MOV chains built by if-conversion).
+
+    Also returns per-register definition counts: implication reasoning
+    (including the reflexive case) is only sound for registers defined once
+    in the block — a redefined test register names *different* dynamic
+    values at different points (unrolled iterations recompute the loop test
+    into the same register).
+    """
+    def_counts: dict[int, int] = {}
+    for instr in block.instrs:
+        if instr.dest is not None:
+            def_counts[instr.dest] = def_counts.get(instr.dest, 0) + 1
+    edges: dict[tuple[int, bool], set[tuple[int, bool]]] = {}
+    for instr in block.instrs:
+        if instr.dest is None or def_counts.get(instr.dest, 0) != 1:
+            continue
+        if instr.pred is not None:
+            continue
+        d = instr.dest
+        if instr.op is Opcode.AND:
+            a, b = instr.srcs
+            edges.setdefault((d, True), set()).update({(a, True), (b, True)})
+        elif instr.op is Opcode.NOT:
+            (a,) = instr.srcs
+            edges.setdefault((d, True), set()).add((a, False))
+            edges.setdefault((d, False), set()).add((a, True))
+        elif instr.op is Opcode.MOV:
+            (a,) = instr.srcs
+            edges.setdefault((d, True), set()).add((a, True))
+            edges.setdefault((d, False), set()).add((a, False))
+    return edges, def_counts
+
+
+def _implies(
+    edges: dict[tuple[int, bool], set[tuple[int, bool]]],
+    q: Predicate,
+    p: Predicate,
+    unstable: frozenset[int] = frozenset(),
+) -> bool:
+    """True if ``q`` holding guarantees ``p`` holds.
+
+    Atoms over registers in ``unstable`` (redefined between the producer
+    and the consumer) name different dynamic values and are not traversed.
+    """
+    start = (q.reg, q.sense)
+    goal = (p.reg, p.sense)
+    if start == goal:
+        return True
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for nxt in edges.get(node, ()):
+            if nxt[0] in unstable:
+                continue
+            if nxt == goal:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
+    """Drop predicates that are implied by every consumer's predicate.
+
+    Only the *head* of a dependence chain needs the predicate; instructions
+    whose value is consumed exclusively under (predicates implying) the
+    same guard are implicitly predicated, as in dataflow predication [25].
+    """
+    changed = False
+    edges, def_counts = _implication_edges(block)
+    instrs = block.instrs
+    for i, instr in enumerate(instrs):
+        if instr.pred is None or instr.dest is None:
+            continue
+        if not (instr.is_pure or instr.op is Opcode.LOAD):
+            continue
+        if instr.dest in live_out:
+            continue
+        p = instr.pred
+        ok = True
+        has_reader = False
+        # A predicate atom names a stable dynamic value only while its
+        # register is not redefined between this instruction and the reader
+        # (unrolled iterations recompute loop tests into the same register).
+        redefined: set[int] = set()
+        for later in instrs[i + 1 :]:
+            if instr.dest in later.uses():
+                has_reader = True
+                q = later.pred
+                if (
+                    q is None
+                    or p.reg in redefined
+                    or q.reg in redefined
+                    or not _implies(edges, q, p, frozenset(redefined))
+                ):
+                    ok = False
+                    break
+            if later.dest is not None:
+                if later.dest == instr.dest and later.pred is None:
+                    break
+                redefined.add(later.dest)
+        if ok and has_reader:
+            instr.pred = None
+            changed = True
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Dead code elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_dead_code(block: BasicBlock, live_out: set[int]) -> bool:
+    """Remove pure instructions whose results are never observed."""
+    live = set(live_out)
+    keep: list[Instruction] = []
+    changed = False
+    for instr in reversed(block.instrs):
+        removable = (
+            (instr.is_pure or instr.op in (Opcode.NULLW, Opcode.FANOUT))
+            and instr.dest is not None
+            and instr.dest not in live
+        )
+        if removable:
+            changed = True
+            continue
+        if instr.dest is not None and instr.pred is None:
+            live.discard(instr.dest)
+        live.update(instr.uses())
+        keep.append(instr)
+    if changed:
+        keep.reverse()
+        block.instrs = keep
+    return changed

@@ -1,0 +1,6 @@
+"""Execution profiles: edge frequencies and loop trip-count histograms."""
+
+from repro.profiles.collect import ProfileCollector, collect_profile
+from repro.profiles.data import ProfileData, root_name
+
+__all__ = ["ProfileCollector", "ProfileData", "collect_profile", "root_name"]

@@ -1,0 +1,5 @@
+"""Simulators: functional (architectural) and TRIPS-like timing models."""
+
+from repro.sim.functional import Interpreter, SimStats, SimulationError, run_module
+
+__all__ = ["Interpreter", "SimStats", "SimulationError", "run_module"]

@@ -1,0 +1,260 @@
+"""TRIPS-like cycle timing model (block-pipelined dataflow simulation).
+
+The model consumes the dynamic block trace produced by the functional
+simulator and computes a cycle count that is sensitive to exactly the
+effects the paper's evaluation hinges on:
+
+- **per-block overhead** — every dynamic block pays fetch/map latency, so
+  merging blocks (fewer, fuller blocks) directly buys cycles;
+- **next-block mispredictions** — a wrong exit prediction flushes the
+  speculative window and restarts fetch after the branch resolves;
+- **dataflow dependence height** — instructions issue when their operands
+  (including the predicate) arrive; the extra predication that tail
+  duplication introduces lengthens real dependence chains (the paper's
+  bzip2_3 pathology), while falsely-predicated long paths do *not* delay
+  commit beyond their own output resolution;
+- **issue contention** — all in-flight instructions share ``issue_width``
+  slots per cycle, so speculative useless instructions cost bandwidth;
+- **window pressure** — at most ``window_blocks`` blocks are in flight;
+  small blocks waste window capacity.
+
+Within a block the schedule is a greedy list schedule over the dataflow
+graph; across blocks, register ready times are forwarded and fetch is
+pipelined.  The simulation is O(dynamic instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.function import Module
+from repro.ir.opcodes import Opcode
+from repro.sim.functional import Interpreter
+from repro.sim.machine import TRIPS_MACHINE, MachineConfig
+from repro.sim.predictor import NextBlockPredictor
+
+
+@dataclass
+class TimingStats:
+    """Results of one timing simulation."""
+
+    cycles: int = 0
+    blocks: int = 0
+    instructions: int = 0
+    mispredictions: int = 0
+    flushes: int = 0
+    #: dynamic blocks per (func, block-name) for hot-spot reporting
+    block_counts: dict = field(default_factory=dict)
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.blocks if self.blocks else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<TimingStats cycles={self.cycles} blocks={self.blocks} "
+            f"mispredicts={self.mispredictions}>"
+        )
+
+
+class _BlockTiming:
+    """Static per-block information reused across dynamic executions."""
+
+    __slots__ = ("instrs", "size", "fetch_cycles")
+
+    def __init__(self, block, config: MachineConfig):
+        # Precompile to (latency, srcs, pred_reg, dest, uid).
+        self.instrs = []
+        for instr in block.instrs:
+            latency = instr.latency
+            if instr.op is Opcode.LOAD:
+                latency += config.load_extra
+            pred_reg = instr.pred.reg if instr.pred is not None else None
+            self.instrs.append(
+                (latency, instr.srcs, pred_reg, instr.dest, instr.uid)
+            )
+        self.size = len(block.instrs)
+        self.fetch_cycles = config.block_fetch_cycles(self.size)
+
+
+class TimingSimulator:
+    """Runs a module functionally while accumulating a cycle model."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: Optional[MachineConfig] = None,
+        predictor: Optional[NextBlockPredictor] = None,
+    ):
+        self.module = module
+        self.config = config or TRIPS_MACHINE
+        self.predictor = predictor or NextBlockPredictor()
+        self.stats = TimingStats()
+        self._block_cache: dict[tuple[str, str], _BlockTiming] = {}
+        # Microarchitectural clock state.
+        self._reg_ready: dict[tuple[str, int], int] = {}
+        self._issued: dict[int, int] = {}
+        self._next_fetch = 0
+        self._commit_times: list[int] = []
+        self._last_commit = 0
+
+    # -- driving --------------------------------------------------------------
+
+    def run(
+        self,
+        args: tuple = (),
+        preload: Optional[dict[int, list]] = None,
+        func_name: str = "main",
+        max_blocks: int = 5_000_000,
+    ) -> TimingStats:
+        interp = Interpreter(
+            self.module, max_blocks=max_blocks, trace=self._on_block
+        )
+        if preload:
+            for base, values in preload.items():
+                interp.preload(base, values)
+        interp.run(func_name, args)
+        self.stats.cycles = self._last_commit
+        return self.stats
+
+    # -- per-block timing ------------------------------------------------------
+
+    def _block_timing(self, func_name: str, block_name: str) -> _BlockTiming:
+        key = (func_name, block_name)
+        cached = self._block_cache.get(key)
+        if cached is None:
+            block = self.module.function(func_name).blocks[block_name]
+            cached = _BlockTiming(block, self.config)
+            self._block_cache[key] = cached
+        return cached
+
+    def _issue_slot(self, ready: int) -> int:
+        """Earliest cycle >= ready with a free issue slot."""
+        issued = self._issued
+        width = self.config.issue_width
+        t = ready
+        while issued.get(t, 0) >= width:
+            t += 1
+        issued[t] = issued.get(t, 0) + 1
+        return t
+
+    def _on_block(
+        self,
+        func_name: str,
+        block_name: str,
+        fired,
+        depth: int,
+        nullified: tuple = (),
+    ) -> None:
+        config = self.config
+        stats = self.stats
+        stats.blocks += 1
+        key = (func_name, block_name)
+        stats.block_counts[key] = stats.block_counts.get(key, 0) + 1
+        timing = self._block_timing(func_name, block_name)
+
+        # Fetch: pipelined behind the previous block, limited by the window.
+        fetch = self._next_fetch
+        window = config.window_blocks
+        if len(self._commit_times) >= window:
+            fetch = max(fetch, self._commit_times[-window])
+        map_done = fetch + config.map_latency + timing.fetch_cycles
+
+        # Dataflow schedule.  A nullified instruction (predicate evaluated
+        # false) does not execute: it resolves as a null token one cycle
+        # after its predicate arrives, without taking an issue slot — this
+        # is why a long dependence chain on a falsely-predicated path does
+        # not delay block commit on an EDGE machine (paper, Section 5).
+        reg_ready = self._reg_ready
+        local: dict[int, int] = {}
+        branch_resolve = map_done
+        block_done = map_done
+        route = config.route_latency
+        fired_uid = fired.uid
+        nullified_set = set(nullified)
+        executed = 0
+        for index, (latency, srcs, pred_reg, dest, uid) in enumerate(
+            timing.instrs
+        ):
+            if index in nullified_set:
+                t = local.get(pred_reg)
+                if t is None:
+                    t = reg_ready.get((func_name, pred_reg), 0)
+                done = max(map_done, t) + 1
+                if dest is not None:
+                    local[dest] = done
+                if done > block_done:
+                    block_done = done
+                continue
+            ready = map_done
+            for reg in srcs:
+                t = local.get(reg)
+                if t is None:
+                    t = reg_ready.get((func_name, reg), 0)
+                if t > ready:
+                    ready = t
+            if pred_reg is not None:
+                t = local.get(pred_reg)
+                if t is None:
+                    t = reg_ready.get((func_name, pred_reg), 0)
+                if t > ready:
+                    ready = t
+            start = self._issue_slot(ready)
+            done = start + latency + route
+            executed += 1
+            if dest is not None:
+                local[dest] = done
+            if done > block_done:
+                block_done = done
+            if uid == fired_uid:
+                branch_resolve = done
+        stats.instructions += executed
+
+        # Commit: in order, all outputs produced.
+        commit = max(block_done, self._last_commit) + config.commit_overhead
+        self._last_commit = commit
+        self._commit_times.append(commit)
+        if len(self._commit_times) > config.window_blocks + 1:
+            del self._commit_times[: -config.window_blocks - 1]
+
+        # Forward register outputs to later blocks.
+        forward = config.interblock_forward
+        for reg, t in local.items():
+            reg_ready[(func_name, reg)] = t + forward
+
+        # Next-block prediction decides where fetch resumes.
+        is_return = fired.op is Opcode.RET
+        target = fired.target if not is_return else None
+        correct = self.predictor.predict_and_update(
+            func_name, block_name, target, is_return
+        )
+        if correct:
+            self._next_fetch = fetch + config.fetch_gap
+        else:
+            stats.mispredictions += 1
+            stats.flushes += 1
+            self._next_fetch = branch_resolve + config.mispredict_penalty
+
+        # Keep the issue table from growing without bound.
+        if len(self._issued) > 65536:
+            horizon = self._last_commit - 1024
+            self._issued = {
+                t: n for t, n in self._issued.items() if t >= horizon
+            }
+
+
+def simulate_cycles(
+    module: Module,
+    args: tuple = (),
+    preload: Optional[dict[int, list]] = None,
+    config: Optional[MachineConfig] = None,
+    max_blocks: int = 5_000_000,
+) -> TimingStats:
+    """Convenience wrapper: timing-simulate ``main(*args)``."""
+    sim = TimingSimulator(module, config=config)
+    return sim.run(args=args, preload=preload, max_blocks=max_blocks)

@@ -1,0 +1,33 @@
+"""Whole-region duplication: the substrate for discrete unrolling/peeling.
+
+The classical (discrete-phase) unroller and peeler copy a loop's entire
+body subgraph and rewire back edges between the copies.  Copies keep their
+provenance in their names (``body.d1``), so profile queries still resolve.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.function import Function
+
+
+def duplicate_region(
+    func: Function, block_names: Iterable[str], tag: str = "d"
+) -> dict[str, str]:
+    """Copy a set of blocks into the function, redirecting internal edges.
+
+    Branches inside the copies that target other blocks *within* the region
+    are redirected to the corresponding copies; branches leaving the region
+    keep their original targets.  Returns the ``original -> copy`` name map.
+    """
+    names = list(block_names)
+    mapping: dict[str, str] = {}
+    for name in names:
+        mapping[name] = func.new_block_name(name, tag=tag)
+    for name in names:
+        copy = func.blocks[name].copy(mapping[name])
+        for old, new in mapping.items():
+            copy.retarget_branches(old, new)
+        func.add_block(copy)
+    return mapping

@@ -1,0 +1,140 @@
+"""IR-level inlining of small single-block functions.
+
+Calls terminate TRIPS blocks, so a tiny helper called inside a hot loop
+fences off hyperblock formation around it (``LegalMerge`` refuses blocks
+containing calls).  The paper's Section 9 motivates (partial) inlining for
+exactly this reason.  This pass inlines callees that are:
+
+- a single basic block,
+- ending in one ``RET``,
+- free of calls themselves.
+
+The callee's instructions are spliced in place of the ``CALL`` with their
+registers renamed into the caller's namespace; parameters become copies of
+the argument registers, and the return value becomes a copy into the
+call's destination.  A predicated call predicates the entire spliced body
+(the callee block is straight-line, so a single guard suffices).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function, Module
+from repro.ir.instruction import Instruction, Predicate
+from repro.ir.opcodes import Opcode
+
+
+def _inlinable_body(func: Function, max_size: int) -> Optional[list[Instruction]]:
+    if len(func.blocks) != 1:
+        return None
+    block = func.entry_block()
+    if len(block) > max_size:
+        return None
+    rets = [i for i in block.instrs if i.op is Opcode.RET]
+    if len(rets) != 1 or block.instrs[-1] is not rets[0]:
+        return None
+    if rets[0].pred is not None:
+        return None
+    if any(i.is_call or i.op is Opcode.BR for i in block.instrs):
+        return None
+    return block.instrs
+
+
+def inline_call(
+    caller: Function,
+    block_name: str,
+    call_index: int,
+    callee: Function,
+) -> bool:
+    """Splice ``callee``'s single block in place of one call instruction."""
+    body = _inlinable_body(callee, max_size=1 << 30)
+    if body is None:
+        return False
+    block = caller.blocks[block_name]
+    call = block.instrs[call_index]
+    assert call.op is Opcode.CALL and call.callee == callee.name
+
+    # Rename callee registers into fresh caller registers.
+    rename: dict[int, int] = {}
+
+    def fresh(reg: int) -> int:
+        mapped = rename.get(reg)
+        if mapped is None:
+            mapped = rename[reg] = caller.new_reg()
+        return mapped
+
+    guard = call.pred
+    spliced: list[Instruction] = []
+    # Bind parameters to arguments.
+    for param, arg in zip(callee.params, call.srcs):
+        spliced.append(
+            Instruction(
+                Opcode.MOV, dest=fresh(param), srcs=(arg,), pred=guard
+            )
+        )
+    ret_value: Optional[int] = None
+    for instr in body:
+        if instr.op is Opcode.RET:
+            ret_value = fresh(instr.srcs[0]) if instr.srcs else None
+            continue
+        copy = instr.copy()
+        copy.srcs = tuple(fresh(s) for s in copy.srcs)
+        if copy.dest is not None:
+            copy.dest = fresh(copy.dest)
+        if copy.pred is not None:
+            # Callee-internal predicates (none for straight-line bodies,
+            # but be general): conjoin would need materialization; since
+            # _inlinable_body only admits unpredicated straight-line code,
+            # a predicate here means a caller guard applied below.
+            copy.pred = Predicate(fresh(copy.pred.reg), copy.pred.sense)
+        elif guard is not None:
+            copy.pred = Predicate(guard.reg, guard.sense)
+        spliced.append(copy)
+    if call.dest is not None:
+        if ret_value is not None:
+            spliced.append(
+                Instruction(
+                    Opcode.MOV, dest=call.dest, srcs=(ret_value,), pred=guard
+                )
+            )
+        else:
+            spliced.append(
+                Instruction(Opcode.MOVI, dest=call.dest, imm=0, pred=guard)
+            )
+    block.instrs[call_index : call_index + 1] = spliced
+    return True
+
+
+def inline_small_functions(
+    module: Module, max_size: int = 12, max_rounds: int = 3
+) -> int:
+    """Inline every call to a small single-block function.
+
+    Returns the number of call sites inlined.  Multiple rounds resolve
+    helpers calling helpers (the callee must already be call-free, so the
+    innermost inline first, then its caller becomes eligible).
+    """
+    total = 0
+    for _ in range(max_rounds):
+        inlined_this_round = 0
+        for func in module:
+            for block_name in list(func.blocks):
+                block = func.blocks[block_name]
+                index = 0
+                while index < len(block.instrs):
+                    instr = block.instrs[index]
+                    if instr.op is Opcode.CALL and instr.callee in module:
+                        callee = module.function(instr.callee)
+                        if (
+                            callee is not func
+                            and _inlinable_body(callee, max_size) is not None
+                        ):
+                            if inline_call(func, block_name, index, callee):
+                                inlined_this_round += 1
+                                total += 1
+                                continue  # re-examine from same index
+                    index += 1
+        if inlined_this_round == 0:
+            break
+    return total

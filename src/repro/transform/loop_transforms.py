@@ -1,0 +1,69 @@
+"""Discrete (classical) loop unrolling and peeling.
+
+These are the ``U`` and ``P`` phases of the paper's baseline orderings:
+whole-body duplication at the CFG level, with every copy keeping its own
+exit tests (while-loop unrolling — intermediate tests cannot be removed).
+The convergent algorithm subsumes both via head duplication; these exist to
+reproduce the discrete-phase baselines (UPIO, IUPO).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loops import Loop
+from repro.ir.function import Function
+from repro.transform.duplicate import duplicate_region
+
+
+def _chain_stages(
+    func: Function,
+    loop: Loop,
+    stages: list[dict[str, str]],
+) -> None:
+    """Rewire each stage's back edges to the next stage's header copy.
+
+    The last stage's back edges fall through to the original header.
+    """
+    for k, mapping in enumerate(stages):
+        next_header = (
+            stages[k + 1][loop.header] if k + 1 < len(stages) else loop.header
+        )
+        for latch, header in loop.back_edges:
+            latch_copy = func.blocks[mapping[latch]]
+            latch_copy.retarget_branches(mapping[header], next_header)
+
+
+def unroll_loop(func: Function, loop: Loop, copies: int, tag: str = "u") -> list[dict[str, str]]:
+    """Append ``copies`` extra iterations after the loop body.
+
+    The original body's back edges enter the first copy; each copy's back
+    edges enter the next; the last copy's back edges return to the original
+    header.  Every iteration keeps its exit tests (while-loop semantics).
+    """
+    if copies <= 0:
+        return []
+    stages = [duplicate_region(func, sorted(loop.blocks), tag=tag) for _ in range(copies)]
+    _chain_stages(func, loop, stages)
+    first_header = stages[0][loop.header]
+    for latch, header in loop.back_edges:
+        func.blocks[latch].retarget_branches(header, first_header)
+    return stages
+
+
+def peel_loop(func: Function, loop: Loop, copies: int, tag: str = "p") -> list[dict[str, str]]:
+    """Peel ``copies`` iterations in front of the loop.
+
+    Entry edges are redirected into the first peeled copy; each copy falls
+    through (via its back-edge branches) to the next, and the last one
+    enters the original loop.  The original loop's own back edges are
+    untouched.
+    """
+    if copies <= 0:
+        return []
+    cfg = func.cfg()
+    entry_edges = loop.entry_edges(cfg)
+    stages = [duplicate_region(func, sorted(loop.blocks), tag=tag) for _ in range(copies)]
+    _chain_stages(func, loop, stages)
+    first_header = stages[0][loop.header]
+    for pred, header in entry_edges:
+        func.blocks[pred].retarget_branches(header, first_header)
+    return stages

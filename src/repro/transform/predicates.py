@@ -1,0 +1,122 @@
+"""Predicate materialization for if-conversion.
+
+Merging a block ``S`` into a hyperblock ``HB`` along a branch guarded by
+predicate ``g`` requires every instruction of ``S`` to execute only when
+``g`` holds *and* its own predicate (if any) holds.  TRIPS predicates are
+single registers, so conjunctions are materialized as explicit ``AND``
+(and ``NOT`` for negative senses) instructions — this is the "additional
+predication" cost of duplication the paper discusses.
+
+The :class:`PredicateBuilder` appends instructions to a block while
+maintaining a small cache of materialized values.  The cache is invalidated
+whenever a source register is redefined, which makes the builder safe for
+unrolling (where each appended iteration redefines the loop's test
+register).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Predicate
+from repro.ir.opcodes import Opcode
+
+
+class PredicateBuilder:
+    """Appends predicate-combining instructions to a block under construction."""
+
+    def __init__(self, func: Function, block: BasicBlock):
+        self.func = func
+        self.block = block
+        # (reg, sense) -> register holding the effective boolean value.
+        self._eff_cache: dict[tuple[int, bool], int] = {}
+        # (guard_reg, reg, sense) -> register holding the conjunction.
+        self._and_cache: dict[tuple[int, int, bool], int] = {}
+        self.materialized = 0
+
+    # -- cache maintenance --------------------------------------------------
+
+    def invalidate(self, reg: int) -> None:
+        """Forget cached values that read ``reg`` (it was just redefined)."""
+        for key in [k for k in self._eff_cache if k[0] == reg]:
+            del self._eff_cache[key]
+        for key in [k for k in self._and_cache if k[0] == reg or k[1] == reg]:
+            del self._and_cache[key]
+        # Cached *results* whose register happens to equal reg cannot occur:
+        # results always live in fresh registers.
+
+    def note_append(self, instr: Instruction) -> None:
+        """Record an externally appended instruction (for invalidation)."""
+        if instr.dest is not None:
+            self.invalidate(instr.dest)
+
+    # -- materialization --------------------------------------------------
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        self.block.append(instr)
+        self.materialized += 1
+        return instr
+
+    def effective(self, pred: Predicate) -> int:
+        """A register holding ``1`` iff ``pred`` holds (0 otherwise).
+
+        Positive-sense predicates are used directly; negative senses
+        materialize a ``NOT``.
+        """
+        if pred.sense:
+            return pred.reg
+        key = (pred.reg, False)
+        cached = self._eff_cache.get(key)
+        if cached is not None:
+            return cached
+        dest = self.func.new_reg()
+        self._emit(Instruction(Opcode.NOT, dest=dest, srcs=(pred.reg,)))
+        self._eff_cache[key] = dest
+        return dest
+
+    def snapshot(self, pred: Predicate) -> Predicate:
+        """Copy ``pred``'s current effective value into a fresh register.
+
+        Needed when the code about to be appended redefines the predicate
+        register (unrolling: iteration N+1 recomputes the loop test into
+        the same virtual register).
+        """
+        value = self.effective(pred)
+        dest = self.func.new_reg()
+        self._emit(Instruction(Opcode.MOV, dest=dest, srcs=(value,)))
+        return Predicate(dest, True)
+
+    def conjoin(self, guard: Optional[Predicate], pred: Optional[Predicate]) -> Optional[Predicate]:
+        """The predicate for an instruction guarded by both arguments."""
+        if guard is None:
+            return pred
+        if pred is None:
+            return Predicate(guard.reg, guard.sense)
+        guard_reg = self.effective(guard)
+        key = (guard_reg, pred.reg, pred.sense)
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return Predicate(cached, True)
+        pred_reg = self.effective(pred)
+        dest = self.func.new_reg()
+        self._emit(Instruction(Opcode.AND, dest=dest, srcs=(guard_reg, pred_reg)))
+        self._and_cache[key] = dest
+        return Predicate(dest, True)
+
+    def disjoin(self, preds: list[Optional[Predicate]]) -> Optional[Predicate]:
+        """A predicate true iff any of ``preds`` holds (for multi-branch
+        merges: several branches of HB may target the same block)."""
+        if any(p is None for p in preds):
+            return None
+        assert preds, "disjoin of empty predicate list"
+        acc = self.effective(preds[0])
+        for pred in preds[1:]:
+            reg = self.effective(pred)
+            dest = self.func.new_reg()
+            self._emit(Instruction(Opcode.OR, dest=dest, srcs=(acc, reg)))
+            acc = dest
+        if len(preds) == 1:
+            return Predicate(preds[0].reg, preds[0].sense)
+        return Predicate(acc, True)

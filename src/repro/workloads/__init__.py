@@ -1,0 +1,15 @@
+"""Workloads: microbenchmarks, SPEC surrogates, random program generators."""
+
+from repro.workloads.generators import random_inputs, random_program
+from repro.workloads.microbench import MICROBENCH_ORDER, MICROBENCHMARKS, Workload
+from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_ORDER
+
+__all__ = [
+    "MICROBENCHMARKS",
+    "MICROBENCH_ORDER",
+    "SPEC_BENCHMARKS",
+    "SPEC_ORDER",
+    "Workload",
+    "random_inputs",
+    "random_program",
+]

@@ -1,0 +1,834 @@
+"""The 24 microbenchmarks of the paper's Table 1/2, as TL programs.
+
+The paper extracted these kernels from SPEC2000, the GMTI radar suite, and
+classic benchmarks (matrix multiply, sieve, Dhrystone).  We cannot use the
+original extracted C code, so each kernel here is written to have the
+*control-flow shape the paper describes for it* — that shape, not the
+arithmetic, is what drives the formation/policy effects being measured:
+
+- ``ammp_1``/``ammp_2``: while loops with low trip counts (the paper's
+  best head-duplication candidates);
+- ``bzip2_3``: an infrequently taken block ahead of a merge point holding
+  the induction-variable update — the tail-duplication pathology that
+  makes depth-first and VLIW policies *slower than basic blocks*;
+- ``parser_1``: rarely taken, high-dependence-height error paths that the
+  VLIW heuristic excludes, blowing up the misprediction rate;
+- ``gzip_1``: an inner loop that fits in one block only after scalar
+  optimization — the showcase for integrating O into formation;
+- ``matrix_1``/``sieve``: loops where a discrete unroller's factor
+  misprediction (UPIO) hurts;
+- ``dct8x8``: already-large straight-line blocks where formation can only
+  add overhead;
+- GMTI kernels: dataflow-heavy signal-processing loops.
+
+Inputs are deterministic; sizes are scaled so the pure-Python simulators
+run each kernel in milliseconds (improvement percentages are scale-free).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from repro.frontend import compile_tl
+from repro.ir.function import Module
+
+
+@dataclass
+class Workload:
+    """One microbenchmark: TL source plus its input data."""
+
+    name: str
+    source: str
+    args: tuple = ()
+    preload: dict[int, list] = field(default_factory=dict)
+    description: str = ""
+    #: front-end for-loop unroll factor (Scale unrolls for loops early;
+    #: the BB baseline includes this, exactly as in the paper)
+    unroll_for: int = 0
+
+    def module(self) -> Module:
+        """Compile through the front end (Figure 6's first stage: inlining,
+        for-loop unrolling, scalar optimizations).  The BB baseline uses
+        exactly this output, as in the paper."""
+        from repro.opt.pipeline import optimize_module
+
+        module = compile_tl(
+            self.source, name=self.name, unroll_for=self.unroll_for, inline=True
+        )
+        optimize_module(module)
+        return module
+
+
+def _rng(tag: str) -> random.Random:
+    return random.Random(f"repro-{tag}")
+
+
+MICROBENCHMARKS: dict[str, Workload] = {}
+
+
+def _add(workload: Workload) -> Workload:
+    MICROBENCHMARKS[workload.name] = workload
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# ammp: low-trip-count while loops (head duplication candidates)
+# ---------------------------------------------------------------------------
+
+_AMMP1_NODES = 256
+
+
+def _ammp1_chains() -> tuple[list, list]:
+    """Linked neighbor chains, mostly 3 long (the paper's profile)."""
+    rng = _rng("ammp1")
+    nxt = [0] * _AMMP1_NODES
+    val = [rng.randint(1, 9) for _ in range(_AMMP1_NODES)]
+    # Build disjoint chains of length 2-4 (3 most common).
+    node = 1
+    heads = []
+    while node + 4 < _AMMP1_NODES:
+        length = rng.choices([2, 3, 4], weights=[2, 6, 2])[0]
+        heads.append(node)
+        for k in range(length - 1):
+            nxt[node + k] = node + k + 1
+        nxt[node + length - 1] = 0
+        node += length
+    heads = (heads * 8)[:48]
+    return [nxt, val, heads]
+
+
+_ammp1_nxt, _ammp1_val, _ammp1_heads = _ammp1_chains()
+
+_add(
+    Workload(
+        name="ammp_1",
+        description="outer loop over atoms; inner while loop walks a short "
+        "neighbor chain (common trip count 3)",
+        source="""
+fn main(nheads, heads, nxt, val) {
+  var energy = 0;
+  for (var a = 0; a < nheads; a = a + 1) {
+    var ptr = heads[a];
+    while (ptr != 0) {
+      energy = energy + val[ptr] * 3 - (energy >> 4);
+      ptr = nxt[ptr];
+    }
+  }
+  return energy;
+}
+""",
+        args=(len(_ammp1_heads), 3000, 1000, 2000),
+        preload={1000: _ammp1_nxt, 2000: _ammp1_val, 3000: _ammp1_heads},
+    )
+)
+
+_add(
+    Workload(
+        name="ammp_2",
+        description="two short while loops per outer iteration (vector "
+        "update + torque accumulation), low trip counts",
+        source="""
+fn main(nheads, heads, nxt, val) {
+  var fx = 0;
+  var fy = 0;
+  for (var a = 0; a < nheads; a = a + 1) {
+    var p = heads[a];
+    while (p != 0) {
+      fx = fx + val[p];
+      p = nxt[p];
+    }
+    var q = heads[a];
+    while (q != 0) {
+      fy = fy + fx - val[q];
+      q = nxt[q];
+    }
+  }
+  return fx + fy;
+}
+""",
+        args=(32, 3000, 1000, 2000),
+        preload={1000: _ammp1_nxt, 2000: _ammp1_val, 3000: _ammp1_heads},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# art: neural-net layer scans
+# ---------------------------------------------------------------------------
+
+_ART_N = 48
+_art_rng = _rng("art")
+_ART_W = [_art_rng.randint(0, 15) for _ in range(_ART_N)]
+_ART_IN = [_art_rng.randint(0, 15) for _ in range(_ART_N)]
+
+_add(
+    Workload(
+        name="art_1",
+        description="F1 layer scan: for loop with a clamp conditional",
+        source="""
+fn main(n, w, in) {
+  var sum = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var t = w[i] * in[i];
+    if (t > 128) { t = 128; }
+    sum = sum + t;
+  }
+  return sum;
+}
+""",
+        args=(_ART_N, 1000, 2000),
+        preload={1000: _ART_W, 2000: _ART_IN},
+        unroll_for=3,
+    )
+)
+
+_add(
+    Workload(
+        name="art_2",
+        description="winner-take-all scan: two data-dependent conditionals",
+        source="""
+fn main(n, w, in) {
+  var best = 0 - 1000000;
+  var bestidx = 0;
+  var ties = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var y = w[i] * in[i] - (w[i] >> 1);
+    if (y > best) {
+      best = y;
+      bestidx = i;
+    } else {
+      if (y == best) { ties = ties + 1; }
+    }
+  }
+  return best + bestidx + ties;
+}
+""",
+        args=(_ART_N, 1000, 2000),
+        preload={1000: _ART_W, 2000: _ART_IN},
+        unroll_for=3,
+    )
+)
+
+_add(
+    Workload(
+        name="art_3",
+        description="dense branch-free update loop (tiny basic blocks, "
+        "highly parallel -> the biggest hyperblock win)",
+        source="""
+fn main(n, w, in, out) {
+  for (var i = 0; i < n; i = i + 1) {
+    out[i] = w[i] * in[i] + (w[i] >> 2) - (in[i] >> 3);
+  }
+  var s = 0;
+  for (var j = 0; j < n; j = j + 1) {
+    s = s + out[j];
+  }
+  return s;
+}
+""",
+        args=(120, 1000, 2000, 4000),
+        preload={1000: (_ART_W * 3)[:120], 2000: (_ART_IN * 3)[:120]},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# bzip2: the tail-duplication pathology family
+# ---------------------------------------------------------------------------
+
+_bzip_rng = _rng("bzip2")
+_BZIP_DATA = [_bzip_rng.randint(0, 255) for _ in range(192)]
+# Rare flags: ~3% ones.
+_BZIP_RARE = [1 if _bzip_rng.random() < 0.03 else 0 for _ in range(192)]
+
+_add(
+    Workload(
+        name="bzip2_1",
+        description="byte histogram (uniform win for any policy)",
+        source="""
+fn main(n, data, counts) {
+  for (var i = 0; i < n; i = i + 1) {
+    var b = data[i] & 15;
+    counts[b] = counts[b] + 1;
+  }
+  var s = 0;
+  for (var j = 0; j < 16; j = j + 1) { s = s + counts[j] * j; }
+  return s;
+}
+""",
+        args=(160, 1000, 3000),
+        preload={1000: _BZIP_DATA, 3000: [0] * 16},
+        unroll_for=2,
+    )
+)
+
+_add(
+    Workload(
+        name="bzip2_2",
+        description="scan with an infrequent swap branch before the "
+        "induction update",
+        source="""
+fn main(n, data, flags) {
+  var j = 0;
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var v = data[i];
+    if (flags[i] != 0) {
+      v = (v << 2) + j;
+      s = s - v;
+    }
+    j = j + v;
+    s = s + (j & 255);
+  }
+  return s;
+}
+""",
+        args=(160, 1000, 2000),
+        preload={1000: _BZIP_DATA, 2000: _BZIP_RARE},
+    )
+)
+
+_add(
+    Workload(
+        name="bzip2_3",
+        description="the paper's pathology: a rarely-taken block feeds a "
+        "merge point holding the loop induction update; excluding the rare "
+        "block (DF/VLIW) tail-duplicates the update and makes it "
+        "data-dependent on the test",
+        source="""
+fn main(n, data, flags) {
+  var i = 0;
+  var s = 0;
+  var acc = 0;
+  while (i < n) {
+    var v = data[i];
+    if (flags[i] != 0) {
+      acc = acc + (v << 3) - (s & 63);
+      acc = acc - (acc >> 5);
+      s = s ^ acc;
+    }
+    i = i + 1;
+    s = s + v;
+  }
+  return s + acc + i;
+}
+""",
+        args=(160, 1000, 2000),
+        preload={1000: _BZIP_DATA, 2000: _BZIP_RARE},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# dct8x8: already-large straight-line blocks
+# ---------------------------------------------------------------------------
+
+
+def _dct_body() -> str:
+    """Straight-line 8-point butterfly applied to each row."""
+    lines = []
+    for k in range(8):
+        lines.append(f"    var x{k} = m[r8 + {k}];")
+    # butterfly stage 1
+    for k in range(4):
+        lines.append(f"    var s{k} = x{k} + x{7 - k};")
+        lines.append(f"    var d{k} = x{k} - x{7 - k};")
+    lines.append("    var t0 = s0 + s3; var t1 = s1 + s2;")
+    lines.append("    var t2 = s0 - s3; var t3 = s1 - s2;")
+    for k in range(4):
+        lines.append(f"    m[r8 + {k}] = t{k % 4} + d{k} * {3 + k};")
+        lines.append(f"    m[r8 + {k + 4}] = t{(k + 1) % 4} - d{k} * {2 + k};")
+    return "\n".join(lines)
+
+
+_add(
+    Workload(
+        name="dct8x8",
+        description="8x8 DCT: straight-line butterflies, blocks already "
+        "near-full -> hyperblock formation has little to offer",
+        source=f"""
+fn main(m) {{
+  for (var r = 0; r < 8; r = r + 1) {{
+    var r8 = r * 8;
+{_dct_body()}
+  }}
+  var s = 0;
+  for (var q = 0; q < 64; q = q + 1) {{ s = s + m[q]; }}
+  return s;
+}}
+""",
+        args=(1000,),
+        preload={1000: [(_i * 7 + 3) % 64 for _i in range(64)]},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# dhry: Dhrystone-like statement mix with calls
+# ---------------------------------------------------------------------------
+
+_add(
+    Workload(
+        name="dhry",
+        description="Dhrystone-like mix: small helper calls, an if-chain, "
+        "a copy loop",
+        source="""
+fn proc7(a, b) { return a + 2 + b; }
+fn func1(c1, c2) { return c1 == c2; }
+
+fn main(runs, arr) {
+  var int1 = 0;
+  var int2 = 0;
+  var int3 = 0;
+  for (var r = 0; r < runs; r = r + 1) {
+    int1 = 2;
+    int2 = 3;
+    int3 = proc7(int1, int2);
+    if (func1(arr[r & 15], 65)) {
+      int2 = int2 + int3;
+    } else {
+      int2 = int2 + 1;
+    }
+    var k = 0;
+    while (k < 4) {
+      arr[16 + k] = arr[k] + int2;
+      k = k + 1;
+    }
+    if (int2 > 10) { int1 = int1 * 2; }
+    int3 = int3 + int1 + (int2 & 7);
+  }
+  return int1 + int2 + int3;
+}
+""",
+        args=(40, 1000),
+        preload={1000: [65 if i % 3 else 66 for i in range(32)]},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# GMTI radar kernels
+# ---------------------------------------------------------------------------
+
+_gmti_rng = _rng("gmti")
+_GMTI_RE = [_gmti_rng.randint(-7, 7) for _ in range(96)]
+_GMTI_IM = [_gmti_rng.randint(-7, 7) for _ in range(96)]
+
+_add(
+    Workload(
+        name="doppler_gmti",
+        description="complex multiply-accumulate over a pulse vector",
+        source="""
+fn main(n, re, im, wre, wim) {
+  var accr = 0;
+  var acci = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var r = re[i] * wre[i] - im[i] * wim[i];
+    var j = re[i] * wim[i] + im[i] * wre[i];
+    accr = accr + r;
+    acci = acci + j;
+  }
+  return accr * 3 + acci;
+}
+""",
+        args=(80, 1000, 2000, 3000, 4000),
+        preload={
+            1000: _GMTI_RE,
+            2000: _GMTI_IM,
+            3000: list(reversed(_GMTI_RE)),
+            4000: list(reversed(_GMTI_IM)),
+        },
+        unroll_for=2,
+    )
+)
+
+_add(
+    Workload(
+        name="fft2_gmti",
+        description="radix-2 butterfly pass over interleaved data",
+        source="""
+fn main(n, re, im) {
+  var s = 0;
+  for (var i = 0; i + 1 < n; i = i + 2) {
+    var ar = re[i];
+    var br = re[i + 1];
+    var ai = im[i];
+    var bi = im[i + 1];
+    re[i] = ar + br;
+    im[i] = ai + bi;
+    re[i + 1] = ar - br;
+    im[i + 1] = ai - bi;
+    s = s + re[i] - im[i + 1];
+  }
+  return s;
+}
+""",
+        args=(96, 1000, 2000),
+        preload={1000: list(_GMTI_RE), 2000: list(_GMTI_IM)},
+        unroll_for=2,
+    )
+)
+
+_add(
+    Workload(
+        name="fft4_gmti",
+        description="radix-4 butterfly with a larger body",
+        source="""
+fn main(n, re, im) {
+  var s = 0;
+  for (var i = 0; i + 3 < n; i = i + 4) {
+    var a = re[i];     var b = re[i + 1];
+    var c = re[i + 2]; var d = re[i + 3];
+    var t0 = a + c;    var t1 = a - c;
+    var t2 = b + d;    var t3 = b - d;
+    re[i] = t0 + t2;
+    re[i + 1] = t1 + (im[i + 3] - im[i + 1]);
+    re[i + 2] = t0 - t2;
+    re[i + 3] = t1 - (im[i + 3] - im[i + 1]);
+    s = s + re[i] + re[i + 2];
+  }
+  return s;
+}
+""",
+        args=(96, 1000, 2000),
+        preload={1000: list(_GMTI_RE), 2000: list(_GMTI_IM)},
+    )
+)
+
+_add(
+    Workload(
+        name="forward_gmti",
+        description="short FIR filter; memory-bound, small formation upside",
+        source="""
+fn main(n, x, y) {
+  for (var i = 3; i < n; i = i + 1) {
+    y[i] = x[i] * 4 + x[i - 1] * 3 + x[i - 2] * 2 + x[i - 3];
+  }
+  var s = 0;
+  for (var j = 3; j < n; j = j + 1) { s = s + y[j]; }
+  return s;
+}
+""",
+        args=(72, 1000, 4000),
+        preload={1000: _GMTI_RE},
+        unroll_for=2,
+    )
+)
+
+_add(
+    Workload(
+        name="transpose_gmti",
+        description="blocked matrix transpose; address arithmetic dominates",
+        source="""
+fn main(n, a, b) {
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < n; j = j + 1) {
+      b[j * n + i] = a[i * n + j];
+    }
+  }
+  var s = 0;
+  for (var k = 0; k < n; k = k + 1) { s = s + b[k * n + k]; }
+  return s;
+}
+""",
+        args=(10, 1000, 2000),
+        preload={1000: [(_i * 13 + 5) % 97 for _i in range(100)]},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# gzip: match loops (the scalar-optimization showcase)
+# ---------------------------------------------------------------------------
+
+_gzip_rng = _rng("gzip")
+_GZIP_A = [_gzip_rng.randint(0, 3) for _ in range(160)]
+_GZIP_B = list(_GZIP_A)
+for _k in range(0, 160, 7):
+    _GZIP_B[_k] = (_GZIP_B[_k] + 1) % 4  # mismatches every ~7 bytes
+
+_add(
+    Workload(
+        name="gzip_1",
+        description="longest-match loop whose body fits one block only "
+        "after scalar optimization (the (IUPO) showcase)",
+        source="""
+fn main(tries, a, b, maxlen) {
+  var best = 0;
+  for (var t = 0; t < tries; t = t + 1) {
+    var i = t * 3;
+    var len = 0;
+    while (len < maxlen && a[i + len] == b[len + (t & 3)]) {
+      len = len + 1;
+    }
+    if (len > best) { best = len; }
+  }
+  return best + tries;
+}
+""",
+        args=(36, 1000, 2000, 12),
+        preload={1000: _GZIP_A, 2000: _GZIP_B},
+    )
+)
+
+_add(
+    Workload(
+        name="gzip_2",
+        description="LZ emit loop with flag-bit bookkeeping",
+        source="""
+fn main(n, data, out) {
+  var flags = 0;
+  var nf = 0;
+  var optr = 0;
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var v = data[i];
+    if (v > 1) {
+      flags = (flags << 1) | 1;
+      out[optr] = v * 3;
+    } else {
+      flags = flags << 1;
+      out[optr] = v;
+    }
+    optr = optr + 1;
+    nf = nf + 1;
+    if (nf == 8) {
+      s = s + flags;
+      flags = 0;
+      nf = 0;
+    }
+  }
+  return s + optr;
+}
+""",
+        args=(128, 1000, 4000),
+        preload={1000: _GZIP_A},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# matrix multiply, parser, sieve, twolf, vadd
+# ---------------------------------------------------------------------------
+
+_add(
+    Workload(
+        name="matrix_1",
+        description="10x10 integer matrix multiply (UPIO's unroll-factor "
+        "misprediction makes it negative, as in the paper)",
+        source="""
+fn main(n, a, b, c) {
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < n; j = j + 1) {
+      var acc = 0;
+      for (var k = 0; k < n; k = k + 1) {
+        acc = acc + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  var s = 0;
+  for (var d = 0; d < n; d = d + 1) { s = s + c[d * n + d]; }
+  return s;
+}
+""",
+        args=(10, 1000, 2000, 3000),
+        preload={
+            1000: [(_i * 3 + 1) % 7 for _i in range(100)],
+            2000: [(_i * 5 + 2) % 9 for _i in range(100)],
+        },
+        unroll_for=2,
+    )
+)
+
+_parser_rng = _rng("parser")
+_PARSER_WORDS = [_parser_rng.randint(1, 99) for _ in range(128)]
+for _k in range(0, 128, 50):
+    _PARSER_WORDS[_k] = 0  # ~2% "unknown word" rate
+
+_add(
+    Workload(
+        name="parser_1",
+        description="dictionary scan with rarely-taken, high-dependence-"
+        "height recovery paths; the VLIW heuristic excludes them and pays "
+        "in mispredictions",
+        source="""
+fn main(n, words, table) {
+  var score = 0;
+  var errs = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var w = words[i];
+    if (w == 0) {
+      var h = (score + i) * 17;
+      h = h - (h / 7) * 7;
+      h = (h * 13 + errs) & 255;
+      h = h - (h / 3) * 3;
+      errs = errs + h + 1;
+    } else {
+      score = score + table[w & 31];
+    }
+    score = score + (w & 3);
+  }
+  return score + errs * 100;
+}
+""",
+        args=(128, 1000, 2000),
+        preload={1000: _PARSER_WORDS, 2000: [(_i * 11) % 23 for _i in range(32)]},
+    )
+)
+
+_add(
+    Workload(
+        name="sieve",
+        description="sieve of Eratosthenes: inner while loop with "
+        "data-dependent trip counts (UPIO overpeels)",
+        source="""
+fn main(limit, flags) {
+  var count = 0;
+  for (var i = 2; i < limit; i = i + 1) { flags[i] = 1; }
+  for (var p = 2; p < limit; p = p + 1) {
+    if (flags[p] != 0) {
+      count = count + 1;
+      var m = p + p;
+      while (m < limit) {
+        flags[m] = 0;
+        m = m + p;
+      }
+    }
+  }
+  return count;
+}
+""",
+        args=(96, 1000),
+    )
+)
+
+_twolf_rng = _rng("twolf")
+_TWOLF_COST = [_twolf_rng.randint(0, 63) for _ in range(96)]
+
+_add(
+    Workload(
+        name="twolf_1",
+        description="placement cost loop: balanced if/else arithmetic mix",
+        source="""
+fn main(n, cost, pos) {
+  var total = 0;
+  var penalty = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var dx = cost[i] - pos[i & 31];
+    if (dx < 0) { dx = 0 - dx; }
+    if (dx > 16) {
+      penalty = penalty + dx * 2;
+    } else {
+      total = total + dx;
+    }
+  }
+  return total + penalty;
+}
+""",
+        args=(96, 1000, 2000),
+        preload={1000: _TWOLF_COST, 2000: [(_i * 19) % 61 for _i in range(32)]},
+        unroll_for=2,
+    )
+)
+
+_add(
+    Workload(
+        name="twolf_3",
+        description="serial pointer-chasing net walk: nothing to merge "
+        "profitably (the paper reports ~0.5%)",
+        source="""
+fn main(steps, nxt, val) {
+  var p = 1;
+  var s = 0;
+  for (var i = 0; i < steps; i = i + 1) {
+    s = s + val[p];
+    p = nxt[p];
+  }
+  return s;
+}
+""",
+        args=(96, 1000, 2000),
+        preload={
+            1000: [(_i * 37 + 11) % 96 for _i in range(96)],
+            2000: [(_i * 7) % 13 for _i in range(96)],
+        },
+    )
+)
+
+_add(
+    Workload(
+        name="vadd",
+        description="vector add: trivially parallel, bandwidth-shaped",
+        source="""
+fn main(n, a, b, c) {
+  for (var i = 0; i < n; i = i + 1) {
+    c[i] = a[i] + b[i];
+  }
+  var s = 0;
+  for (var j = 0; j < n; j = j + 1) { s = s + c[j]; }
+  return s;
+}
+""",
+        args=(96, 1000, 2000, 3000),
+        preload={
+            1000: [(_i * 3) % 17 for _i in range(96)],
+            2000: [(_i * 5) % 19 for _i in range(96)],
+        },
+        unroll_for=2,
+    )
+)
+
+_add(
+    Workload(
+        name="equake_1",
+        description="sparse matrix-vector product: inner loop trips vary "
+        "per row",
+        source="""
+fn main(rows, rowptr, cols, vals, x, y) {
+  var s = 0;
+  for (var r = 0; r < rows; r = r + 1) {
+    var acc = 0;
+    var e = rowptr[r];
+    var end = rowptr[r + 1];
+    while (e < end) {
+      acc = acc + vals[e] * x[cols[e]];
+      e = e + 1;
+    }
+    y[r] = acc;
+    s = s + acc;
+  }
+  return s;
+}
+""",
+        args=(24, 1000, 2000, 3000, 4000, 5000),
+    )
+)
+
+
+def _equake_data() -> None:
+    rng = _rng("equake")
+    rows = 24
+    rowptr = [0]
+    cols: list[int] = []
+    vals: list[int] = []
+    for _ in range(rows):
+        nnz = rng.choices([1, 2, 3, 4, 5], weights=[1, 3, 4, 3, 1])[0]
+        for _ in range(nnz):
+            cols.append(rng.randrange(16))
+            vals.append(rng.randint(-3, 5))
+        rowptr.append(len(cols))
+    wl = MICROBENCHMARKS["equake_1"]
+    wl.preload = {
+        1000: rowptr,
+        2000: cols,
+        3000: vals,
+        4000: [rng.randint(0, 7) for _ in range(16)],
+    }
+
+
+_equake_data()
+
+#: Table 1/2 presentation order (the paper lists them alphabetically).
+MICROBENCH_ORDER = [
+    "ammp_1", "ammp_2", "art_1", "art_2", "art_3",
+    "bzip2_1", "bzip2_2", "bzip2_3", "dct8x8", "dhry",
+    "doppler_gmti", "equake_1", "fft2_gmti", "fft4_gmti", "forward_gmti",
+    "gzip_1", "gzip_2", "matrix_1", "parser_1", "sieve",
+    "transpose_gmti", "twolf_1", "twolf_3", "vadd",
+]
+
+assert set(MICROBENCH_ORDER) == set(MICROBENCHMARKS)

@@ -1,0 +1,84 @@
+"""Tests for dominator analysis and reverse postorder."""
+
+from repro.analysis import DominatorTree, reverse_postorder
+from repro.ir import FunctionBuilder
+from tests.conftest import make_counting_loop, make_diamond, make_while_loop
+
+
+def test_rpo_starts_at_entry():
+    func = make_counting_loop()
+    rpo = reverse_postorder(func)
+    assert rpo[0] == "entry"
+    assert set(rpo) == set(func.blocks)
+
+
+def test_rpo_places_preds_before_succs_for_acyclic():
+    func = make_diamond()
+    rpo = reverse_postorder(func)
+    assert rpo.index("A") < rpo.index("B")
+    assert rpo.index("A") < rpo.index("C")
+    assert rpo.index("B") < rpo.index("D")
+    assert rpo.index("C") < rpo.index("D")
+
+
+def test_diamond_idoms():
+    func = make_diamond()
+    dom = DominatorTree(func)
+    assert dom.idom["A"] is None
+    assert dom.idom["B"] == "A"
+    assert dom.idom["C"] == "A"
+    assert dom.idom["D"] == "A"  # join point dominated by the branch block
+
+
+def test_loop_idoms():
+    func = make_counting_loop()
+    dom = DominatorTree(func)
+    assert dom.idom["head"] == "entry"
+    assert dom.idom["body"] == "head"
+    assert dom.idom["exit"] == "head"
+
+
+def test_dominates_is_reflexive_and_transitive():
+    func = make_while_loop()
+    dom = DominatorTree(func)
+    assert dom.dominates("head", "head")
+    assert dom.dominates("entry", "latch")
+    assert dom.dominates("head", "odd")
+    assert not dom.dominates("odd", "latch")  # even path bypasses odd
+    assert dom.strictly_dominates("entry", "head")
+    assert not dom.strictly_dominates("head", "head")
+
+
+def test_dom_depth():
+    func = make_counting_loop()
+    dom = DominatorTree(func)
+    assert dom.dom_depth("entry") == 0
+    assert dom.dom_depth("head") == 1
+    assert dom.dom_depth("body") == 2
+
+
+def test_unreachable_blocks_ignored():
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    fb.ret()
+    fb.block("island")
+    fb.br("island")
+    func = fb.finish()
+    dom = DominatorTree(func)
+    assert "island" not in dom.rpo
+    assert "island" not in dom.idom
+
+
+def test_deep_chain_no_recursion_error():
+    fb = FunctionBuilder("f")
+    fb.block("b0", entry=True)
+    n = 3000
+    for i in range(n):
+        fb.br(f"b{i + 1}")
+        fb.block(f"b{i + 1}")
+    fb.ret()
+    func = fb.finish()
+    rpo = reverse_postorder(func)
+    assert len(rpo) == n + 1
+    dom = DominatorTree(func)
+    assert dom.idom[f"b{n}"] == f"b{n - 1}"

@@ -1,0 +1,156 @@
+"""Tests for liveness analysis and intra-block dependence graphs."""
+
+from repro.analysis import Liveness, dep_preds, dependence_height, path_dependence_height
+from repro.ir import BasicBlock, FunctionBuilder, Instruction, Opcode, Predicate
+from tests.conftest import make_counting_loop, make_diamond
+
+
+def test_loop_carried_registers_live_around_loop():
+    func = make_counting_loop()
+    live = Liveness(func)
+    # The counter and accumulator (written in entry, used in head/body).
+    entry = func.block("entry")
+    i_reg = entry.instrs[0].dest
+    sum_reg = entry.instrs[1].dest
+    assert i_reg in live.live_in["head"]
+    assert sum_reg in live.live_in["head"]
+    assert i_reg in live.live_out["body"]
+
+
+def test_dead_after_last_use():
+    func = make_diamond()
+    live = Liveness(func)
+    # Params v0, v1 are not live out of the join block D.
+    assert 0 not in live.live_out["D"]
+    assert 1 not in live.live_out["D"]
+
+
+def test_predicated_write_does_not_kill_liveness():
+    fb = FunctionBuilder("f", nparams=2)
+    fb.block("entry")
+    p = fb.tlt(0, 1)
+    result = fb.func.new_reg()
+    fb.movi_to(result, 1, pred=Predicate(p, True))
+    fb.br("next")
+    fb.block("next")
+    fb.ret(result)
+    func = fb.finish()
+    live = Liveness(func)
+    # result may flow through entry unwritten (pred false), so it is
+    # live-in at entry even though entry "writes" it.
+    assert result in live.live_in["entry"]
+
+
+def test_unpredicated_write_kills():
+    fb = FunctionBuilder("f", nparams=1)
+    fb.block("entry")
+    r = fb.func.new_reg()
+    fb.movi_to(r, 1)
+    fb.br("next")
+    fb.block("next")
+    fb.ret(r)
+    live = Liveness(fb.finish())
+    assert r not in live.live_in["entry"]
+    assert r in live.live_in["next"]
+
+
+def test_live_through():
+    fb = FunctionBuilder("f", nparams=2)
+    fb.block("entry")
+    fb.movi(0)
+    fb.br("next")
+    fb.block("next")
+    fb.ret(fb.add(0, 1))
+    live = Liveness(fb.finish())
+    assert 0 in live.live_through("entry")
+    assert 1 in live.live_through("entry")
+
+
+def _block(*instrs):
+    blk = BasicBlock("b")
+    for i in instrs:
+        blk.append(i)
+    return blk
+
+
+def test_dep_preds_register_chain():
+    blk = _block(
+        Instruction(Opcode.MOVI, dest=1, imm=2),
+        Instruction(Opcode.ADD, dest=2, srcs=(1, 1)),
+        Instruction(Opcode.MUL, dest=3, srcs=(2, 1)),
+        Instruction(Opcode.RET, srcs=(3,)),
+    )
+    preds = dep_preds(blk)
+    assert preds[0] == ()
+    assert preds[1] == (0,)
+    assert preds[2] == (0, 1)
+    assert preds[3] == (2,)
+
+
+def test_dep_preds_predicated_writers_accumulate():
+    blk = _block(
+        Instruction(Opcode.MOVI, dest=1, imm=0),
+        Instruction(Opcode.MOVI, dest=1, imm=5, pred=Predicate(9)),
+        Instruction(Opcode.ADD, dest=2, srcs=(1, 1)),
+        Instruction(Opcode.RET, srcs=(2,)),
+    )
+    preds = dep_preds(blk)
+    # The ADD may see either writer of v1.
+    assert preds[2] == (0, 1)
+
+
+def test_dep_preds_unpredicated_write_kills_earlier():
+    blk = _block(
+        Instruction(Opcode.MOVI, dest=1, imm=0),
+        Instruction(Opcode.MOVI, dest=1, imm=5),
+        Instruction(Opcode.ADD, dest=2, srcs=(1, 1)),
+        Instruction(Opcode.RET, srcs=(2,)),
+    )
+    assert dep_preds(blk)[2] == (1,)
+
+
+def test_dep_preds_predicate_is_an_input():
+    blk = _block(
+        Instruction(Opcode.TLT, dest=5, srcs=(0, 1)),
+        Instruction(Opcode.MOVI, dest=2, imm=1, pred=Predicate(5)),
+        Instruction(Opcode.RET, srcs=(2,)),
+    )
+    assert dep_preds(blk)[1] == (0,)
+
+
+def test_stores_serialize_loads_do_not():
+    blk = _block(
+        Instruction(Opcode.STORE, srcs=(0, 1)),
+        Instruction(Opcode.LOAD, dest=2, srcs=(0,)),
+        Instruction(Opcode.STORE, srcs=(0, 2)),
+        Instruction(Opcode.RET),
+    )
+    preds = dep_preds(blk)
+    assert preds[1] == ()  # speculative load does not wait on the store
+    assert 0 in preds[2]  # store-store ordering kept
+
+
+def test_dependence_height_uses_latency():
+    blk = _block(
+        Instruction(Opcode.MOVI, dest=1, imm=2),  # 1 cycle
+        Instruction(Opcode.MUL, dest=2, srcs=(1, 1)),  # 3 cycles
+        Instruction(Opcode.ADD, dest=3, srcs=(2, 2)),  # 1 cycle
+        Instruction(Opcode.RET, srcs=(3,)),
+    )
+    assert dependence_height(blk) == 1 + 3 + 1 + 1
+
+
+def test_independent_ops_do_not_add_height():
+    blk = _block(
+        Instruction(Opcode.MOVI, dest=1, imm=2),
+        Instruction(Opcode.MOVI, dest=2, imm=3),
+        Instruction(Opcode.MOVI, dest=3, imm=4),
+        Instruction(Opcode.BR, target="b"),
+    )
+    assert dependence_height(blk) == 1
+
+
+def test_path_dependence_height_sums():
+    a = _block(Instruction(Opcode.MOVI, dest=1, imm=2), Instruction(Opcode.BR, target="b"))
+    b = _block(Instruction(Opcode.MUL, dest=2, srcs=(1, 1)), Instruction(Opcode.RET))
+    assert path_dependence_height([a, b]) == dependence_height(a) + dependence_height(b)

@@ -1,0 +1,113 @@
+"""Tests for natural-loop detection and the loop forest."""
+
+from repro.analysis import LoopForest
+from repro.ir import FunctionBuilder
+from tests.conftest import make_counting_loop, make_diamond, make_while_loop
+
+
+def test_counting_loop_found():
+    func = make_counting_loop()
+    forest = LoopForest(func)
+    assert forest.is_header("head")
+    loop = forest.loop_of_header("head")
+    assert loop.blocks == {"head", "body"}
+    assert loop.back_edges == [("body", "head")]
+    assert loop.latches() == ["body"]
+
+
+def test_diamond_has_no_loops():
+    forest = LoopForest(make_diamond())
+    assert not forest.loops
+
+
+def test_while_loop_body_includes_both_arms():
+    func = make_while_loop()
+    forest = LoopForest(func)
+    loop = forest.loop_of_header("head")
+    assert loop.blocks == {"head", "body", "odd", "even", "latch"}
+    assert forest.loop_depth("odd") == 1
+    assert forest.loop_depth("entry") == 0
+
+
+def test_exits_and_entries():
+    func = make_counting_loop()
+    forest = LoopForest(func)
+    loop = forest.loop_of_header("head")
+    cfg = func.cfg()
+    assert loop.exits(cfg) == [("head", "exit")]
+    assert loop.entry_edges(cfg) == [("entry", "head")]
+
+
+def test_is_back_edge():
+    func = make_counting_loop()
+    forest = LoopForest(func)
+    assert forest.is_back_edge("body", "head")
+    assert not forest.is_back_edge("entry", "head")
+    assert not forest.is_back_edge("head", "body")
+
+
+def make_nested_loops():
+    """outer: i loop containing inner: j loop (both rotated while-style)."""
+    fb = FunctionBuilder("main")
+    fb.block("entry", entry=True)
+    i = fb.movi(0)
+    total = fb.movi(0)
+    fb.br("outer_head")
+
+    fb.block("outer_head")
+    c = fb.tlt(i, fb.movi(5))
+    fb.br_cond(c, "inner_init", "exit")
+
+    fb.block("inner_init")
+    j = fb.movi(0)
+    fb.br("inner_head")
+
+    fb.block("inner_head")
+    cj = fb.tlt(j, fb.movi(3))
+    fb.br_cond(cj, "inner_body", "outer_latch")
+
+    fb.block("inner_body")
+    fb.mov_to(total, fb.add(total, j))
+    fb.mov_to(j, fb.add(j, fb.movi(1)))
+    fb.br("inner_head")
+
+    fb.block("outer_latch")
+    fb.mov_to(i, fb.add(i, fb.movi(1)))
+    fb.br("outer_head")
+
+    fb.block("exit")
+    fb.ret(total)
+    return fb.finish()
+
+
+def test_nested_loop_forest():
+    func = make_nested_loops()
+    forest = LoopForest(func)
+    outer = forest.loop_of_header("outer_head")
+    inner = forest.loop_of_header("inner_head")
+    assert inner.parent is outer
+    assert outer.children == [inner]
+    assert outer.depth == 1 and inner.depth == 2
+    assert inner.blocks < outer.blocks
+    assert forest.innermost_loop("inner_body") is inner
+    assert forest.innermost_loop("outer_latch") is outer
+    assert forest.top_level_loops() == [outer]
+    ordered = forest.all_loops_innermost_first()
+    assert ordered[0] is inner
+
+
+def test_self_loop_detected():
+    fb = FunctionBuilder("main")
+    fb.block("entry", entry=True)
+    i = fb.movi(0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.mov_to(i, fb.add(i, fb.movi(1)))
+    c = fb.tlt(i, fb.movi(4))
+    fb.br_cond(c, "loop", "exit")
+    fb.block("exit")
+    fb.ret(i)
+    forest = LoopForest(fb.finish())
+    loop = forest.loop_of_header("loop")
+    assert loop.blocks == {"loop"}
+    assert forest.is_back_edge("loop", "loop")

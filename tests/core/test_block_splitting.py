@@ -1,0 +1,98 @@
+"""Tests for formation-time basic-block splitting (paper Section 9)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import TripsConstraints
+from repro.core.convergent import form_module
+from repro.core.merge import FormationContext, merge_blocks
+from repro.ir import FunctionBuilder, build_module, verify_module
+from repro.profiles import collect_profile
+from repro.sim import run_module
+from repro.workloads.generators import random_inputs, random_program
+
+
+def big_successor_module(body_size=40):
+    """entry (tiny) -> big (straight-line) -> exit."""
+    fb = FunctionBuilder("main", nparams=1)
+    fb.block("entry", entry=True)
+    start = fb.add(0, fb.movi(1))
+    fb.br("big")
+    fb.block("big")
+    acc = start
+    for k in range(body_size):
+        acc = fb.add(acc, fb.movi(k % 5))
+    fb.br("exit")
+    fb.block("exit")
+    fb.ret(acc)
+    return build_module(fb.finish())
+
+
+def test_split_merge_absorbs_first_piece():
+    module = big_successor_module()
+    ref = run_module(module.copy(), args=(5,))[0]
+    func = module.function("main")
+    tight = TripsConstraints(max_instructions=24)
+    ctx = FormationContext(
+        func, constraints=tight, allow_block_splitting=True
+    )
+    result = merge_blocks(ctx, "entry", "big")
+    assert result is not None  # the split made the merge possible
+    assert len(func.blocks["entry"]) <= 24
+    # The tail piece exists and is the new successor.
+    assert any(name.startswith("big.s") for name in func.blocks)
+    verify_module(module)
+    assert run_module(module, args=(5,))[0] == ref
+
+
+def test_without_splitting_merge_fails():
+    module = big_successor_module()
+    func = module.function("main")
+    tight = TripsConstraints(max_instructions=24)
+    ctx = FormationContext(func, constraints=tight)
+    assert merge_blocks(ctx, "entry", "big") is None
+
+
+def test_splitting_improves_density_under_pressure():
+    tight = TripsConstraints(max_instructions=24)
+
+    def formed(split):
+        module = big_successor_module()
+        profile = collect_profile(module.copy(), args=(5,))
+        form_module(
+            module, profile=profile, constraints=tight,
+            allow_block_splitting=split,
+        )
+        return module
+
+    without = formed(False)
+    with_split = formed(True)
+    # Splitting lets the entry block absorb part of the big block.
+    assert len(with_split.function("main").blocks["entry"]) > len(
+        without.function("main").blocks["entry"]
+    )
+    assert (
+        run_module(with_split, args=(5,))[0]
+        == run_module(without, args=(5,))[0]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    max_instrs=st.sampled_from([12, 24, 48]),
+)
+def test_splitting_preserves_random_programs(seed, max_instrs):
+    module = random_program(seed)
+    args = random_inputs(seed)
+    ref, _, refmem = run_module(module.copy(), args=args)
+    profile = collect_profile(module.copy(), args=args)
+    form_module(
+        module,
+        profile=profile,
+        constraints=TripsConstraints(max_instructions=max_instrs),
+        allow_block_splitting=True,
+    )
+    verify_module(module)
+    result, _, memory = run_module(module, args=args)
+    assert result == ref and memory == refmem

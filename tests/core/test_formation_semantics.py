@@ -1,0 +1,166 @@
+"""Semantic preservation of convergent hyperblock formation.
+
+The load-bearing property of the whole reproduction: for any program,
+forming hyperblocks under any policy/configuration must not change the
+program's observable behaviour (return value and final memory).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergent import form_module
+from repro.core.constraints import TripsConstraints
+from repro.core.policies import BreadthFirstPolicy, DepthFirstPolicy, VLIWPolicy
+from repro.ir import build_module, verify_module
+from repro.profiles import collect_profile
+from repro.sim import run_module
+from repro.workloads.generators import random_inputs, random_program
+from tests.conftest import make_counting_loop, make_diamond, make_while_loop
+
+
+def run_both(module_factory, args=(), policy=None, **kwargs):
+    """Execute original and hyperblock-formed versions; assert equality."""
+    original = module_factory()
+    formed = original.copy()
+    ref_result, ref_stats, ref_memory = run_module(original, args=args)
+    profile = collect_profile(formed.copy(), args=args)
+    stats = form_module(formed, profile=profile, policy=policy, **kwargs)
+    verify_module(formed)
+    result, new_stats, memory = run_module(formed, args=args)
+    assert result == ref_result
+    assert memory == ref_memory
+    return ref_stats, new_stats, stats
+
+
+POLICIES = [BreadthFirstPolicy, DepthFirstPolicy, VLIWPolicy]
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+def test_diamond_preserved(policy_cls):
+    run_both(lambda: build_module(make_diamond()), args=(3, 5), policy=policy_cls())
+    run_both(lambda: build_module(make_diamond()), args=(9, 5), policy=policy_cls())
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+def test_counting_loop_preserved(policy_cls):
+    ref, new, _ = run_both(
+        lambda: build_module(make_counting_loop()), policy=policy_cls()
+    )
+    assert new.blocks_executed <= ref.blocks_executed
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+@pytest.mark.parametrize("arg", [1, 2, 6, 27])
+def test_collatz_preserved(policy_cls, arg):
+    run_both(
+        lambda: build_module(make_while_loop()), args=(arg,), policy=policy_cls()
+    )
+
+
+def test_formation_reduces_dynamic_blocks():
+    ref, new, stats = run_both(lambda: build_module(make_while_loop()), args=(27,))
+    assert new.blocks_executed < ref.blocks_executed / 2
+    assert stats.merges > 0
+
+
+def test_unformed_args_differ_from_profile():
+    """Formation trained on one input must stay correct on others."""
+    original = build_module(make_while_loop())
+    formed = original.copy()
+    profile = collect_profile(formed.copy(), args=(6,))
+    form_module(formed, profile=profile)
+    for arg in (1, 5, 7, 97):
+        ref_result, _, _ = run_module(original.copy(), args=(arg,))
+        result, _, _ = run_module(formed.copy(), args=(arg,))
+        assert result == ref_result
+
+
+@pytest.mark.parametrize("optimize_during", [False, True])
+@pytest.mark.parametrize("allow_head_dup", [False, True])
+def test_configuration_matrix_preserved(optimize_during, allow_head_dup):
+    run_both(
+        lambda: build_module(make_while_loop()),
+        args=(27,),
+        optimize_during=optimize_during,
+        allow_head_dup=allow_head_dup,
+    )
+
+
+def test_tight_constraints_still_correct():
+    tiny = TripsConstraints(max_instructions=16, max_memory_ops=4)
+    run_both(
+        lambda: build_module(make_while_loop()),
+        args=(27,),
+        constraints=tiny,
+    )
+
+
+def test_unlimited_constraints_fold_whole_acyclic_cfg():
+    from repro.core.constraints import UNLIMITED
+
+    module = build_module(make_diamond())
+    profile = collect_profile(module.copy(), args=(1, 2))
+    form_module(module, profile=profile, constraints=UNLIMITED)
+    assert len(module.function("main").blocks) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_programs_preserved_breadth_first(seed):
+    module = random_program(seed)
+    args = random_inputs(seed)
+    ref_result, _, ref_memory = run_module(module.copy(), args=args)
+    formed = module.copy()
+    profile = collect_profile(formed.copy(), args=args)
+    form_module(formed, profile=profile)
+    verify_module(formed)
+    result, _, memory = run_module(formed, args=args)
+    assert result == ref_result
+    assert memory == ref_memory
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    policy_idx=st.integers(min_value=0, max_value=2),
+    optimize=st.booleans(),
+)
+def test_random_programs_preserved_all_policies(seed, policy_idx, optimize):
+    module = random_program(seed)
+    args = random_inputs(seed)
+    ref_result, _, ref_memory = run_module(module.copy(), args=args)
+    formed = module.copy()
+    profile = collect_profile(formed.copy(), args=args)
+    form_module(
+        formed,
+        profile=profile,
+        policy=POLICIES[policy_idx](),
+        optimize_during=optimize,
+    )
+    verify_module(formed)
+    result, _, memory = run_module(formed, args=args)
+    assert result == ref_result
+    assert memory == ref_memory
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    max_instrs=st.sampled_from([8, 24, 64, 128]),
+)
+def test_random_programs_preserved_under_size_pressure(seed, max_instrs):
+    module = random_program(seed)
+    args = random_inputs(seed)
+    ref_result, _, ref_memory = run_module(module.copy(), args=args)
+    formed = module.copy()
+    profile = collect_profile(formed.copy(), args=args)
+    form_module(
+        formed,
+        profile=profile,
+        constraints=TripsConstraints(max_instructions=max_instrs),
+    )
+    verify_module(formed)
+    result, _, memory = run_module(formed, args=args)
+    assert result == ref_result
+    assert memory == ref_memory

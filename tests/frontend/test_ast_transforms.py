@@ -1,0 +1,144 @@
+"""Tests for front-end for-loop unrolling and inlining."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_tl, inline_functions, parse, unroll_for_loops
+from repro.frontend import ast_nodes as ast
+from repro.sim import run_module
+
+SUM_SQUARES = """
+fn main(n) {
+  var s = 0;
+  for (var i = 0; i < n; i = i + 1) { s = s + i * i; }
+  return s;
+}
+"""
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=0, max_value=40), factor=st.sampled_from([2, 3, 4, 8]))
+def test_unrolled_for_matches_original(n, factor):
+    plain = compile_tl(SUM_SQUARES)
+    unrolled = compile_tl(SUM_SQUARES, unroll_for=factor)
+    assert run_module(plain, args=(n,))[0] == run_module(unrolled, args=(n,))[0]
+
+
+def test_unroll_removes_intermediate_tests():
+    plain = compile_tl(SUM_SQUARES)
+    unrolled = compile_tl(SUM_SQUARES, unroll_for=4)
+    # For n=16 the unrolled version executes far fewer blocks (one test
+    # per 4 iterations in the main loop).
+    _, plain_stats, _ = run_module(plain, args=(16,))
+    _, unrolled_stats, _ = run_module(unrolled, args=(16,))
+    assert unrolled_stats.blocks_executed < plain_stats.blocks_executed * 0.55
+
+
+def test_remainder_loop_handles_non_divisible_counts():
+    unrolled = compile_tl(SUM_SQUARES, unroll_for=4)
+    for n in (1, 2, 3, 5, 7, 9):
+        assert run_module(unrolled, args=(n,))[0] == sum(i * i for i in range(n))
+
+
+def test_loops_with_break_not_unrolled():
+    src = """
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        if (i == 3) { break; }
+        s = s + 1;
+      }
+      return s;
+    }
+    """
+    prog = parse(src)
+    unroll_for_loops(prog, 4)
+    # The for loop must survive untouched (still exactly one For node).
+    fors = [s for s in prog.function("main").body if isinstance(s, ast.For)]
+    assert len(fors) == 1
+    assert run_module(compile_tl(src, unroll_for=4), args=(10,))[0] == 3
+
+
+def test_loop_with_modified_bound_not_unrolled():
+    src = """
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { n = n - 1; s = s + 1; }
+      return s;
+    }
+    """
+    prog = parse(src)
+    unroll_for_loops(prog, 4)
+    fors = [s for s in prog.function("main").body if isinstance(s, ast.For)]
+    assert len(fors) == 1
+
+
+def test_inner_loop_unrolled_outer_kept():
+    src = """
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) { s = s + j; }
+      }
+      return s;
+    }
+    """
+    plain = compile_tl(src)
+    unrolled = compile_tl(src, unroll_for=2)
+    assert run_module(plain, args=(7,))[0] == run_module(unrolled, args=(7,))[0]
+
+
+def test_inline_expression_function():
+    src = """
+    fn square(x) { return x * x; }
+    fn main(a) { return square(a) + square(3); }
+    """
+    prog = parse(src)
+    inline_functions(prog)
+    main = prog.function("main")
+    ret = main.body[0]
+
+    def calls_in(e):
+        if isinstance(e, ast.Call):
+            return 1 + sum(calls_in(a) for a in e.args)
+        if isinstance(e, ast.BinOp):
+            return calls_in(e.left) + calls_in(e.right)
+        if isinstance(e, ast.UnOp):
+            return calls_in(e.operand)
+        return 0
+
+    assert calls_in(ret.value) == 0
+    assert run_module(compile_tl(src, inline=True), args=(4,))[0] == 16 + 9
+
+
+def test_inline_skips_complex_arguments():
+    src = """
+    fn square(x) { return x * x; }
+    fn main(a) { return square(a + 1); }
+    """
+    prog = parse(src)
+    inline_functions(prog)
+    ret = prog.function("main").body[0]
+    assert isinstance(ret.value, ast.Call)  # a+1 duplicated would be unsafe
+    assert run_module(compile_tl(src, inline=True), args=(4,))[0] == 25
+
+
+def test_inline_skips_recursive():
+    src = """
+    fn f(x) { return f(x); }
+    fn main() { return 0; }
+    """
+    prog = parse(src)
+    inline_functions(prog)  # must not hang or substitute
+    ret = prog.function("f").body[0]
+    assert isinstance(ret.value, ast.Call)
+
+
+def test_inline_transitively_through_semantics():
+    src = """
+    fn dbl(x) { return x + x; }
+    fn quad(x) { return dbl(x) + dbl(x); }
+    fn main(a) { return quad(a); }
+    """
+    assert run_module(compile_tl(src, inline=True), args=(3,))[0] == 12
+    assert run_module(compile_tl(src, inline=False), args=(3,))[0] == 12

@@ -1,0 +1,116 @@
+"""Tests for the TL lexer and parser."""
+
+import pytest
+
+from repro.frontend import LexError, ParseError, parse, tokenize
+from repro.frontend import ast_nodes as ast
+
+
+def test_tokenize_basic():
+    toks = tokenize("fn main() { return 1 + 2.5; }")
+    kinds = [t.kind for t in toks]
+    assert kinds[0] == "kw" and toks[0].text == "fn"
+    assert any(t.kind == "num" and t.value == 2.5 for t in toks)
+    assert kinds[-1] == "eof"
+
+
+def test_tokenize_comments_and_lines():
+    toks = tokenize("// comment\nvar x = 3; // trailing\n")
+    assert toks[0].text == "var"
+    assert toks[0].line == 2
+
+
+def test_tokenize_two_char_symbols():
+    toks = tokenize("a <= b << c != d")
+    symbols = [t.text for t in toks if t.kind == "sym"]
+    assert symbols == ["<=", "<<", "!="]
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(LexError):
+        tokenize("fn main() { @ }")
+
+
+def test_tokenize_rejects_double_dot_number():
+    with pytest.raises(LexError):
+        tokenize("1.2.3")
+
+
+def test_parse_function_structure():
+    prog = parse("fn f(a, b) { return a + b; }")
+    func = prog.function("f")
+    assert func.params == ["a", "b"]
+    assert isinstance(func.body[0], ast.Return)
+    ret = func.body[0]
+    assert isinstance(ret.value, ast.BinOp) and ret.value.op == "+"
+
+
+def test_parse_precedence():
+    prog = parse("fn f() { return 1 + 2 * 3 == 7; }")
+    expr = prog.function("f").body[0].value
+    assert expr.op == "=="
+    assert expr.left.op == "+"
+    assert expr.left.right.op == "*"
+
+
+def test_parse_if_else_chain():
+    prog = parse(
+        "fn f(x) { if (x < 0) { return 0; } else if (x < 10) { return 1; }"
+        " else { return 2; } }"
+    )
+    stmt = prog.function("f").body[0]
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.orelse[0], ast.If)
+
+
+def test_parse_for_loop():
+    prog = parse("fn f(n) { for (var i = 0; i < n; i = i + 1) { n = n; } return n; }")
+    loop = prog.function("f").body[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+    assert loop.step.name == "i"
+
+
+def test_parse_while_break_continue():
+    prog = parse(
+        "fn f(n) { while (1) { if (n == 0) { break; } n = n - 1; continue; } return n; }"
+    )
+    loop = prog.function("f").body[0]
+    assert isinstance(loop, ast.While)
+    assert isinstance(loop.body[0].then[0], ast.Break)
+    assert isinstance(loop.body[-1], ast.Continue)
+
+
+def test_parse_index_load_and_store():
+    prog = parse("fn f(a) { a[3] = a[1] + a[2]; return a[0]; }")
+    store = prog.function("f").body[0]
+    assert isinstance(store, ast.StoreStmt)
+    assert isinstance(store.value.left, ast.Index)
+
+
+def test_parse_call_args():
+    prog = parse("fn g(x) { return x; } fn f() { return g(1 + 2); }")
+    call = prog.function("f").body[0].value
+    assert isinstance(call, ast.Call)
+    assert call.callee == "g" and len(call.args) == 1
+
+
+def test_parse_unary():
+    prog = parse("fn f(x) { return -x + !x; }")
+    expr = prog.function("f").body[0].value
+    assert isinstance(expr.left, ast.UnOp) and expr.left.op == "-"
+    assert isinstance(expr.right, ast.UnOp) and expr.right.op == "!"
+
+
+def test_parse_error_messages():
+    with pytest.raises(ParseError, match="expected"):
+        parse("fn f( { }")
+    with pytest.raises(ParseError):
+        parse("fn f() { for (1; 2; 3) {} }")
+
+
+def test_nested_index_expression():
+    prog = parse("fn f(a, b) { return a[b[0]]; }")
+    expr = prog.function("f").body[0].value
+    assert isinstance(expr, ast.Index)
+    assert isinstance(expr.index, ast.Index)

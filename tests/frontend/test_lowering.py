@@ -1,0 +1,172 @@
+"""Tests for TL lowering: compile, run, compare against Python semantics."""
+
+import pytest
+
+from repro.frontend import LoweringError, compile_tl
+from repro.ir import verify_module
+from repro.sim import Interpreter, run_module
+
+
+def run_tl(src, args=(), preload=None):
+    module = compile_tl(src)
+    verify_module(module)
+    interp = Interpreter(module)
+    if preload:
+        for base, values in preload.items():
+            interp.preload(base, values)
+    return interp.run("main", args), interp
+
+
+def test_arithmetic():
+    result, _ = run_tl("fn main(a, b) { return (a + b) * 3 - a / b % 5; }", (10, 3))
+    assert result == (10 + 3) * 3 - 10 // 3 % 5
+
+
+def test_comparisons_produce_bools():
+    src = "fn main(a, b) { return (a < b) + (a == b) * 2 + (a >= b) * 4; }"
+    assert run_tl(src, (1, 2))[0] == 1
+    assert run_tl(src, (2, 2))[0] == 2 + 4
+    assert run_tl(src, (3, 2))[0] == 4
+
+
+def test_logical_ops_are_boolean():
+    src = "fn main(a, b) { return (a && b) + 10 * (a || b); }"
+    assert run_tl(src, (5, 0))[0] == 10
+    assert run_tl(src, (5, 7))[0] == 11
+    assert run_tl(src, (0, 0))[0] == 0
+
+
+def test_unary():
+    assert run_tl("fn main(x) { return -x; }", (7,))[0] == -7
+    assert run_tl("fn main(x) { return !x; }", (7,))[0] == 0
+    assert run_tl("fn main(x) { return !x; }", (0,))[0] == 1
+
+
+def test_if_else():
+    src = "fn main(x) { if (x > 0) { return 1; } else { return 2; } }"
+    assert run_tl(src, (5,))[0] == 1
+    assert run_tl(src, (-5,))[0] == 2
+
+
+def test_if_without_else_falls_through():
+    src = "fn main(x) { var r = 0; if (x > 0) { r = 1; } return r; }"
+    assert run_tl(src, (5,))[0] == 1
+    assert run_tl(src, (-1,))[0] == 0
+
+
+def test_while_loop():
+    src = "fn main(n) { var s = 0; var i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }"
+    assert run_tl(src, (10,))[0] == 45
+
+
+def test_for_loop():
+    src = "fn main(n) { var s = 0; for (var i = 1; i <= n; i = i + 1) { s = s + i * i; } return s; }"
+    assert run_tl(src, (5,))[0] == sum(i * i for i in range(1, 6))
+
+
+def test_break_and_continue():
+    src = """
+    fn main(n) {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        if (i == 7) { break; }
+        if (i % 2 == 0) { continue; }
+        s = s + i;
+      }
+      return s;
+    }
+    """
+    assert run_tl(src, (100,))[0] == 1 + 3 + 5
+
+
+def test_memory_access():
+    src = """
+    fn main(a, n) {
+      for (var i = 0; i < n; i = i + 1) { a[i] = i * 2; }
+      var s = 0;
+      for (var j = 0; j < n; j = j + 1) { s = s + a[j]; }
+      return s;
+    }
+    """
+    result, interp = run_tl(src, (100, 5))
+    assert result == sum(i * 2 for i in range(5))
+    assert interp.memory[102] == 4
+
+
+def test_constant_index_uses_offset():
+    module = compile_tl("fn main(a) { return a[3]; }")
+    from repro.ir import Opcode
+
+    loads = [
+        i
+        for i in module.function("main").instructions()
+        if i.op is Opcode.LOAD
+    ]
+    assert len(loads) == 1 and loads[0].imm == 3
+
+
+def test_calls_and_recursion():
+    src = """
+    fn fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn main(n) { return fib(n); }
+    """
+    assert run_tl(src, (10,))[0] == 55
+
+
+def test_float_builtins():
+    src = "fn main() { return fdiv(fmul(3.0, 4.0), fsub(5.0, fadd(1.0, 1.0))); }"
+    assert run_tl(src)[0] == 12.0 / 3.0
+
+
+def test_missing_return_yields_zero():
+    assert run_tl("fn main() { var x = 5; }")[0] == 0
+
+
+def test_undefined_variable_rejected():
+    with pytest.raises(LoweringError, match="undefined variable"):
+        compile_tl("fn main() { return ghost; }")
+
+
+def test_unknown_call_rejected():
+    with pytest.raises(LoweringError, match="unknown function"):
+        compile_tl("fn main() { return missing(1); }")
+
+
+def test_dead_code_after_return_dropped():
+    module = compile_tl("fn main() { return 1; return 2; }")
+    result, _, _ = run_module(module)
+    assert result == 1
+
+
+def test_shadowing_redeclaration_assigns():
+    src = "fn main() { var x = 1; var x = 2; return x; }"
+    assert run_tl(src)[0] == 2
+
+
+def test_nested_loops():
+    src = """
+    fn main(n) {
+      var total = 0;
+      for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < i; j = j + 1) {
+          total = total + 1;
+        }
+      }
+      return total;
+    }
+    """
+    assert run_tl(src, (6,))[0] == sum(range(6))
+
+
+def test_both_arms_return_no_join():
+    src = """
+    fn main(x) {
+      if (x > 0) { return 1; } else { return 2; }
+    }
+    """
+    module = compile_tl(src)
+    verify_module(module)
+    assert run_module(module, args=(1,))[0] == 1

@@ -1,0 +1,99 @@
+"""Tests for the experiment harness (small subsets to stay fast)."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentError,
+    WorkloadExperiment,
+    figure7,
+    ordering_config,
+    table1,
+    table3,
+)
+from repro.harness.cli import run as cli_run
+from repro.workloads.microbench import MICROBENCHMARKS, Workload
+
+
+@pytest.fixture(scope="module")
+def small_table1():
+    return table1(subset=["bzip2_3", "twolf_3"])
+
+
+def test_table1_rows_and_configs(small_table1):
+    assert set(small_table1.rows) == {"bzip2_3", "twolf_3"}
+    for row in small_table1.rows.values():
+        assert set(row) == {"BB", "UPIO", "IUPO", "(IUP)O", "(IUPO)"}
+        assert row["BB"].cycles > 0
+
+
+def test_improvement_math(small_table1):
+    row = small_table1.rows["bzip2_3"]
+    manual = 100.0 * (row["BB"].cycles - row["(IUPO)"].cycles) / row["BB"].cycles
+    assert small_table1.improvement("bzip2_3", "(IUPO)") == pytest.approx(manual)
+
+
+def test_format_contains_all_rows(small_table1):
+    text = small_table1.format()
+    assert "bzip2_3" in text and "twolf_3" in text
+    assert "Average" in text and "m/t/u/p" in text
+
+
+def test_figure7_regression(small_table1):
+    regression = figure7(small_table1)
+    assert len(regression.points) == 2 * 4
+    assert "linear fit" in regression.format()
+
+
+def test_table3_counts_blocks_without_timing():
+    result = table3(subset=["wupwise"])
+    row = result.rows["wupwise"]
+    assert row["BB"].cycles == 0
+    assert row["BB"].dynamic_blocks > 0
+    assert result.metric == "blocks"
+    assert result.average("(IUPO)") > 0
+
+
+def test_experiment_detects_miscompilation():
+    """The harness cross-checks every configuration's output."""
+
+    def evil(module, profile):
+        # Sabotage: change a constant in the program.
+        from repro.ir import Opcode
+
+        for instr in module.function("main").instructions():
+            if instr.op is Opcode.MOVI and isinstance(instr.imm, int):
+                instr.imm += 1
+                break
+        from repro.core.merge import MergeStats
+
+        return MergeStats()
+
+    experiment = WorkloadExperiment(workload=MICROBENCHMARKS["vadd"], timing=False)
+    with pytest.raises(ExperimentError, match="differs"):
+        experiment.run({"evil": evil})
+
+
+def test_cli_subset_and_out(tmp_path):
+    out = tmp_path / "report.txt"
+    report = cli_run(["table3", "--subset", "wupwise", "--out", str(out)])
+    assert "wupwise" in report
+    assert out.read_text() == report
+
+
+def test_cli_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        cli_run(["table9"])
+
+
+def test_ordering_config_applies_policy():
+    from repro.core.policies import BreadthFirstPolicy
+    from repro.profiles import collect_profile
+
+    workload = MICROBENCHMARKS["twolf_3"]
+    module = workload.module()
+    profile = collect_profile(
+        module.copy(), args=workload.args,
+        preload={k: list(v) for k, v in workload.preload.items()},
+    )
+    stats = ordering_config("(IUPO)", BreadthFirstPolicy)(module, profile)
+    assert stats.merges > 0

@@ -1,0 +1,59 @@
+"""Tests for the block-occupancy report."""
+
+from repro.core.convergent import form_module
+from repro.harness.occupancy import OccupancyReport, occupancy_report
+from repro.ir import build_module
+from repro.profiles import collect_profile
+from repro.sim import Interpreter
+from tests.conftest import make_counting_loop, make_while_loop
+
+
+def test_static_occupancy_without_stats():
+    module = build_module(make_counting_loop())
+    report = occupancy_report(module)
+    assert len(report.blocks) == len(module.function("main").blocks)
+    assert 0 < report.static_mean < 128
+    assert report.dynamic_mean == report.static_mean  # equal weights
+
+
+def test_dynamic_occupancy_weights_hot_blocks():
+    module = build_module(make_counting_loop(bound=50))
+    interp = Interpreter(module)
+    interp.run("main", ())
+    report = occupancy_report(module, interp.stats)
+    # The loop blocks dominate dynamically; entry/exit are tiny and cold,
+    # so the dynamic mean reflects the loop's sizes.
+    assert report.dynamic_mean != report.static_mean
+    assert report.dynamic_utilization < 0.5  # basic blocks are underfull
+
+
+def test_formation_raises_occupancy():
+    base = build_module(make_while_loop())
+    interp = Interpreter(base.copy())
+    interp.run("main", (27,))
+    before = occupancy_report(base, interp.stats)
+
+    formed = base.copy()
+    profile = collect_profile(base.copy(), args=(27,))
+    form_module(formed, profile=profile)
+    interp2 = Interpreter(formed)
+    interp2.run("main", (27,))
+    after = occupancy_report(formed, interp2.stats)
+    # The paper's convergence goal: far fuller blocks.
+    assert after.dynamic_utilization > before.dynamic_utilization * 2
+
+
+def test_histogram_and_format():
+    module = build_module(make_counting_loop())
+    report = occupancy_report(module)
+    hist = report.histogram(buckets=4)
+    assert len(hist) == 4
+    assert sum(hist) >= len(report.blocks)
+    text = report.format()
+    assert "occupancy" in text and "instrs |" in text
+
+
+def test_empty_report():
+    report = OccupancyReport()
+    assert report.static_mean == 0.0
+    assert report.dynamic_utilization == 0.0

@@ -1,0 +1,36 @@
+"""Tests for the Graphviz DOT exporter."""
+
+from repro.ir.dot import function_to_dot
+from tests.conftest import make_counting_loop, make_diamond
+
+
+def test_dot_contains_all_blocks_and_edges():
+    func = make_diamond()
+    dot = function_to_dot(func)
+    for name in func.blocks:
+        assert f'"{name}"' in dot
+    assert '"A" -> "B"' in dot
+    assert '"B" -> "D"' in dot
+    assert dot.startswith("digraph") and dot.rstrip().endswith("}")
+
+
+def test_dot_marks_back_edges_dashed():
+    func = make_counting_loop()
+    dot = function_to_dot(func)
+    back = [l for l in dot.splitlines() if '"body" -> "head"' in l]
+    assert back and "dashed" in back[0]
+
+
+def test_dot_labels_predicated_edges():
+    func = make_diamond()
+    dot = function_to_dot(func)
+    labeled = [l for l in dot.splitlines() if '"A" ->' in l]
+    assert any("label=" in l for l in labeled)
+    assert any("!v" in l for l in labeled)  # the false-sense edge
+
+
+def test_dot_return_node():
+    func = make_diamond()
+    dot = function_to_dot(func)
+    assert '"return"' in dot
+    assert '"D" -> "return"' in dot

@@ -1,0 +1,69 @@
+"""Unit tests for Instruction and Predicate."""
+
+from repro.ir import Instruction, Opcode, Predicate
+
+
+def test_uids_are_unique():
+    a = Instruction(Opcode.ADD, dest=2, srcs=(0, 1))
+    b = Instruction(Opcode.ADD, dest=2, srcs=(0, 1))
+    assert a.uid != b.uid
+
+
+def test_copy_gets_fresh_uid_but_keeps_origin():
+    a = Instruction(Opcode.ADD, dest=2, srcs=(0, 1))
+    c = a.copy()
+    assert c.uid != a.uid
+    assert c.origin == a.uid
+    d = c.copy()
+    assert d.origin == a.uid
+
+
+def test_copy_is_deep_for_predicate():
+    a = Instruction(Opcode.ADD, dest=2, srcs=(0, 1), pred=Predicate(5, True))
+    c = a.copy()
+    c.pred = Predicate(6, False)
+    assert a.pred == Predicate(5, True)
+
+
+def test_uses_includes_predicate_register():
+    a = Instruction(Opcode.ADD, dest=2, srcs=(0, 1), pred=Predicate(5))
+    assert set(a.uses()) == {0, 1, 5}
+    assert a.defs() == (2,)
+
+
+def test_store_has_no_defs():
+    s = Instruction(Opcode.STORE, srcs=(3, 4), imm=8)
+    assert s.defs() == ()
+    assert s.is_memory
+
+
+def test_rewrite_srcs_remaps_sources_and_predicate():
+    a = Instruction(Opcode.ADD, dest=2, srcs=(0, 1), pred=Predicate(1, False))
+    a.rewrite_srcs({0: 10, 1: 11})
+    assert a.srcs == (10, 11)
+    assert a.pred == Predicate(11, False)
+    assert a.dest == 2  # dest untouched
+
+
+def test_predicate_negation():
+    p = Predicate(3, True)
+    assert p.negated() == Predicate(3, False)
+    assert p.negated().negated() == p
+
+
+def test_classification_properties():
+    br = Instruction(Opcode.BR, target="B")
+    ret = Instruction(Opcode.RET)
+    test = Instruction(Opcode.TLT, dest=2, srcs=(0, 1))
+    call = Instruction(Opcode.CALL, dest=2, srcs=(0,), callee="f")
+    assert br.is_branch and ret.is_branch
+    assert not test.is_branch and test.is_test and test.is_pure
+    assert call.is_call and not call.is_pure
+
+
+def test_repr_round_trips_key_fields():
+    a = Instruction(Opcode.ADD, dest=2, srcs=(0, 1), pred=Predicate(5, False))
+    text = repr(a)
+    assert "v2 =" in text and "add" in text and "!v5" in text
+    br = Instruction(Opcode.BR, target="loop")
+    assert "loop" in repr(br)

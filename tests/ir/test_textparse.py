@@ -1,0 +1,105 @@
+"""Round-trip tests for the textual IR parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    IRParseError,
+    format_function,
+    format_module,
+    parse_function_text,
+    parse_instruction,
+    parse_module_text,
+    verify_module,
+    Opcode,
+    Predicate,
+)
+from repro.sim import run_module
+from repro.workloads.generators import random_inputs, random_program
+from tests.conftest import make_counting_loop, make_diamond, make_while_loop
+
+
+def test_parse_simple_instruction():
+    instr = parse_instruction("v2 = add v0, v1")
+    assert instr.op is Opcode.ADD and instr.dest == 2 and instr.srcs == (0, 1)
+
+
+def test_parse_predicated_instruction():
+    instr = parse_instruction("v3 = movi 7 if !v9")
+    assert instr.imm == 7
+    assert instr.pred == Predicate(9, False)
+
+
+def test_parse_branch_and_store():
+    br = parse_instruction("br loop.d1 if v4")
+    assert br.op is Opcode.BR and br.target == "loop.d1"
+    st_ = parse_instruction("store v1, v2, 8")
+    assert st_.op is Opcode.STORE and st_.srcs == (1, 2) and st_.imm == 8
+
+
+def test_parse_call_and_float_imm():
+    call = parse_instruction("v5 = call @helper, v1, v2")
+    assert call.callee == "helper" and call.srcs == (1, 2)
+    fmov = parse_instruction("v6 = movi 2.5")
+    assert fmov.imm == 2.5
+
+
+def test_parse_negative_immediate():
+    instr = parse_instruction("v2 = movi -42")
+    assert instr.imm == -42
+
+
+def test_parse_errors():
+    with pytest.raises(IRParseError):
+        parse_instruction("v2 = frobnicate v0")
+    with pytest.raises(IRParseError):
+        parse_instruction("x2 = add v0, v1")
+    with pytest.raises(IRParseError):
+        parse_function_text("not a function")
+
+
+@pytest.mark.parametrize(
+    "maker,args",
+    [(make_diamond, (3, 5)), (make_counting_loop, ()), (make_while_loop, (27,))],
+)
+def test_function_round_trip(maker, args):
+    func = maker()
+    text = format_function(func)
+    reparsed = parse_function_text(text)
+    assert format_function(reparsed) == text
+    from repro.ir import build_module
+
+    original = build_module(maker())
+    assert (
+        run_module(build_module(reparsed), args=args)[0]
+        == run_module(original, args=args)[0]
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_random_program_round_trip(seed):
+    module = random_program(seed)
+    args = random_inputs(seed)
+    text = format_module(module)
+    reparsed = parse_module_text(text)
+    verify_module(reparsed)
+    assert format_module(reparsed) == text
+    ref, _, refmem = run_module(module, args=args)
+    out, _, outmem = run_module(reparsed, args=args)
+    assert out == ref and outmem == refmem
+
+
+def test_round_trip_after_formation():
+    """Hyperblocks (predicates, multi-exit blocks) survive the round trip."""
+    from repro.core.convergent import form_module
+    from repro.ir import build_module
+    from repro.profiles import collect_profile
+
+    module = build_module(make_while_loop())
+    profile = collect_profile(module.copy(), args=(27,))
+    form_module(module, profile=profile)
+    ref = run_module(module.copy(), args=(27,))[0]
+    reparsed = parse_module_text(format_module(module))
+    assert run_module(reparsed, args=(27,))[0] == ref

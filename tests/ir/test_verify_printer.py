@@ -1,0 +1,113 @@
+"""Tests for the IR verifier and printer."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    FunctionBuilder,
+    Instruction,
+    Opcode,
+    Predicate,
+    VerificationError,
+    build_module,
+    cfg_summary,
+    format_function,
+    format_module,
+    verify_function,
+    verify_module,
+)
+from tests.conftest import make_counting_loop, make_diamond, make_while_loop
+
+
+def test_wellformed_functions_verify():
+    for func in (make_counting_loop(), make_diamond(), make_while_loop()):
+        verify_function(func)
+
+
+def test_branch_to_unknown_block_rejected():
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    fb.br("nowhere")
+    with pytest.raises(VerificationError, match="unknown block"):
+        verify_function(fb.finish())
+
+
+def test_block_without_branch_rejected():
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    fb.movi(1)
+    with pytest.raises(VerificationError, match="no branch"):
+        verify_function(fb.finish())
+
+
+def test_unpredicated_branch_with_siblings_rejected():
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    c = fb.movi(1)
+    fb.br("entry", pred=Predicate(c, True))
+    fb.br("entry")  # unpredicated next to a predicated branch: illegal
+    with pytest.raises(VerificationError, match="unpredicated"):
+        verify_function(fb.finish())
+
+
+def test_wrong_arity_rejected():
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    bad = Instruction(Opcode.ADD, dest=5, srcs=(1,))
+    fb.current.append(bad)
+    fb.ret()
+    with pytest.raises(VerificationError, match="sources"):
+        verify_function(fb.finish())
+
+
+def test_movi_without_imm_rejected():
+    fb = FunctionBuilder("f")
+    fb.block("entry")
+    fb.current.append(Instruction(Opcode.MOVI, dest=1))
+    fb.ret()
+    with pytest.raises(VerificationError, match="immediate"):
+        verify_function(fb.finish())
+
+
+def test_call_to_unknown_function_rejected():
+    fb = FunctionBuilder("main")
+    fb.block("entry")
+    fb.call("ghost")
+    fb.ret()
+    mod = build_module(fb.finish())
+    with pytest.raises(VerificationError, match="unknown function"):
+        verify_module(mod)
+
+
+def test_module_with_calls_verifies():
+    callee = FunctionBuilder("callee", nparams=1)
+    callee.block("entry")
+    callee.ret(0)
+    caller = FunctionBuilder("main")
+    caller.block("entry")
+    arg = caller.movi(7)
+    caller.ret(caller.call("callee", arg))
+    verify_module(build_module(caller.finish(), callee.finish()))
+
+
+def test_printer_output_structure():
+    func = make_diamond()
+    text = format_function(func)
+    assert text.startswith("func @main(v0, v1) {")
+    assert "A:" in text and "D:" in text
+    # Entry block is printed first.
+    assert text.index("A:") < text.index("B:")
+
+
+def test_cfg_summary_lists_every_block():
+    func = make_counting_loop()
+    summary = cfg_summary(func)
+    for name in func.blocks:
+        assert name in summary
+    assert "*entry" in summary  # entry marker
+
+
+def test_format_module_contains_all_functions():
+    mod = build_module(make_counting_loop(), make_diamond(name="aux"))
+    text = format_module(mod)
+    assert "@main" in text and "@aux" in text

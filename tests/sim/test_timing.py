@@ -1,0 +1,171 @@
+"""Tests for the timing model and next-block predictor."""
+
+from repro.core.convergent import form_module
+from repro.ir import FunctionBuilder, build_module
+from repro.profiles import collect_profile
+from repro.sim.machine import MachineConfig, TRIPS_MACHINE
+from repro.sim.predictor import NextBlockPredictor
+from repro.sim.timing import TimingSimulator, simulate_cycles
+from tests.conftest import make_counting_loop, make_while_loop
+
+
+def test_fixed_slot_fetch_cycles():
+    assert TRIPS_MACHINE.block_fetch_cycles(5) == 8  # 128/16 regardless
+    assert TRIPS_MACHINE.block_fetch_cycles(128) == 8
+    ideal = MachineConfig(fixed_size_blocks=False)
+    assert ideal.block_fetch_cycles(5) == 1
+    assert ideal.block_fetch_cycles(33) == 3
+
+
+def test_cycles_deterministic():
+    module = build_module(make_while_loop())
+    a = simulate_cycles(module.copy(), args=(27,)).cycles
+    b = simulate_cycles(module.copy(), args=(27,)).cycles
+    assert a == b > 0
+
+
+def test_more_dynamic_blocks_cost_more_cycles():
+    small = simulate_cycles(build_module(make_counting_loop(bound=5)))
+    large = simulate_cycles(build_module(make_counting_loop(bound=50)))
+    assert large.cycles > small.cycles
+    assert large.blocks > small.blocks
+
+
+def test_formation_improves_counting_loop_cycles():
+    base = build_module(make_counting_loop(bound=30))
+    baseline = simulate_cycles(base.copy())
+    formed = base.copy()
+    profile = collect_profile(base.copy())
+    form_module(formed, profile=profile)
+    improved = simulate_cycles(formed)
+    assert improved.cycles < baseline.cycles
+    assert improved.blocks < baseline.blocks
+
+
+def test_block_overhead_dominates_for_tiny_blocks():
+    """With fixed-size slots, N empty-ish blocks cost ~N * fetch cycles."""
+    fb = FunctionBuilder("main")
+    n = 50
+    fb.block("b0", entry=True)
+    for i in range(n):
+        fb.br(f"b{i + 1}")
+        fb.block(f"b{i + 1}")
+    fb.ret(fb.movi(0))
+    stats = simulate_cycles(build_module(fb.finish()))
+    assert stats.cycles >= n * TRIPS_MACHINE.fetch_gap
+
+
+def test_mispredict_penalty_visible():
+    """A data-dependent alternating branch costs cycles via flushes."""
+    fb = FunctionBuilder("main", nparams=1)
+    fb.block("entry", entry=True)
+    i = fb.movi(0)
+    fb.br("head")
+    fb.block("head")
+    c = fb.tlt(i, fb.movi(64))
+    fb.br_cond(c, "body", "exit")
+    fb.block("body")
+    # branch on load of a pseudo-random memory value
+    val = fb.load(i, offset=2000)
+    odd = fb.tne(val, fb.movi(0))
+    fb.br_cond(odd, "t", "f")
+    fb.block("t")
+    fb.br("latch")
+    fb.block("f")
+    fb.br("latch")
+    fb.block("latch")
+    fb.mov_to(i, fb.add(i, fb.movi(1)))
+    fb.br("head")
+    fb.block("exit")
+    fb.ret(i)
+    module = build_module(fb.finish())
+
+    import random
+
+    rng = random.Random(42)
+    noisy = {2000 + k: rng.randint(0, 1) for k in range(64)}
+    predictable = {2000 + k: 1 for k in range(64)}
+
+    def run(values):
+        sim = TimingSimulator(module.copy())
+        sim_interp_preload = {k: [v] for k, v in values.items()}
+        return sim.run(args=(0,), preload=sim_interp_preload)
+
+    noisy_stats = run(noisy)
+    predictable_stats = run(predictable)
+    assert noisy_stats.mispredictions > predictable_stats.mispredictions + 10
+    assert noisy_stats.cycles > predictable_stats.cycles
+
+
+def test_issue_width_contention():
+    """A very wide independent block is limited by issue width."""
+    fb = FunctionBuilder("main")
+    fb.block("entry", entry=True)
+    regs = [fb.movi(i) for i in range(64)]  # 64 independent instructions
+    fb.ret(regs[0])
+    module = build_module(fb.finish())
+    wide = simulate_cycles(module.copy(), config=MachineConfig(issue_width=16))
+    narrow = simulate_cycles(module.copy(), config=MachineConfig(issue_width=2))
+    assert narrow.cycles > wide.cycles
+
+
+def test_dependence_chain_beats_independent():
+    fb = FunctionBuilder("main", nparams=1)
+    fb.block("entry", entry=True)
+    acc = 0
+    for _ in range(64):
+        acc = fb.add(acc, acc)  # serial dependence chain
+    fb.ret(acc)
+    chain = simulate_cycles(build_module(fb.finish()), args=(3,))
+
+    fb2 = FunctionBuilder("main", nparams=1)
+    fb2.block("entry", entry=True)
+    values = [fb2.add(0, 0) for _ in range(64)]  # independent adds
+    fb2.ret(values[-1])
+    flat = simulate_cycles(build_module(fb2.finish()), args=(3,))
+    assert chain.cycles > flat.cycles * 2
+
+
+def test_ipc_and_rates():
+    stats = simulate_cycles(build_module(make_counting_loop()))
+    assert 0 < stats.ipc < 16
+    assert 0 <= stats.misprediction_rate <= 1
+
+
+def test_predictor_learns_loop_exit():
+    predictor = NextBlockPredictor()
+    # 20 visits of a loop running 5 iterations: head->body x5, head->exit.
+    for _ in range(20):
+        for _ in range(5):
+            predictor.predict_and_update("f", "head", "body", False)
+        predictor.predict_and_update("f", "head", "exit", False)
+    # A pattern predictor should learn the period-6 pattern reasonably well.
+    assert predictor.accuracy > 0.8
+
+
+def test_predictor_returns_always_correct():
+    predictor = NextBlockPredictor()
+    for _ in range(10):
+        assert predictor.predict_and_update("f", "b", None, True)
+    assert predictor.mispredictions == 0
+
+
+def test_predictor_random_targets_mispredict():
+    import random
+
+    rng = random.Random(1)
+    predictor = NextBlockPredictor()
+    for _ in range(500):
+        predictor.predict_and_update("f", "b", rng.choice(["x", "y"]), False)
+    assert predictor.accuracy < 0.8
+
+
+def test_predictor_stable_across_runs():
+    def run():
+        predictor = NextBlockPredictor()
+        seq = (["a"] * 3 + ["b"]) * 50
+        for t in seq:
+            predictor.predict_and_update("f", "blk", t, False)
+        return predictor.mispredictions
+
+    assert run() == run()

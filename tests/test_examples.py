@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and produces the
+output its narrative promises (each contains its own semantic asserts)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "(correct)" in out
+    assert "hyperblock CFG" in out
+
+
+@pytest.mark.parametrize("figure", ["1", "2", "3", "4"])
+def test_paper_figures(figure):
+    out = run_example("paper_figures.py", "--figure", figure)
+    assert f"Figure {figure}" in out
+    assert "unchanged" in out or "original results" in out
+
+
+def test_policy_comparison():
+    out = run_example("policy_comparison.py")
+    assert "bzip2_3" in out and "breadth-first" in out
+    assert "Takeaway" in out
+
+
+def test_end_to_end_compile():
+    out = run_example("end_to_end_compile.py")
+    assert "(correct)" in out
+    assert ".bbegin" in out  # assembly was emitted
+
+
+def test_while_loop_kernels():
+    out = run_example("while_loop_kernels.py")
+    assert "(IUPO)" in out
+    assert "trip-count histogram" in out

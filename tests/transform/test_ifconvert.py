@@ -1,0 +1,147 @@
+"""Unit tests for the if-conversion (Combine) mechanism."""
+
+import pytest
+
+from repro.ir import (
+    FunctionBuilder,
+    Instruction,
+    Opcode,
+    Predicate,
+    build_module,
+)
+from repro.sim import run_module
+from repro.transform.ifconvert import MergeError, inline_block, merge_preview
+from tests.conftest import make_counting_loop, make_diamond
+
+
+def test_inline_unconditional_merge_is_concatenation():
+    fb = FunctionBuilder("main", nparams=1)
+    fb.block("a")
+    x = fb.add(0, fb.movi(1))
+    fb.br("b")
+    fb.block("b")
+    fb.ret(fb.mul(x, x))
+    func = fb.finish()
+    a, b = func.blocks["a"], func.blocks["b"]
+    guard = inline_block(func, a, "b", b.copy("b"))
+    assert guard is None
+    assert not a.branches_to("b")
+    assert a.has_return()
+    assert all(i.pred is None for i in a.instrs)
+
+
+def test_inline_predicated_merge_guards_instructions():
+    func = make_diamond()
+    a = func.blocks["A"]
+    b_copy = func.blocks["B"].copy("B")
+    guard = inline_block(func, a, "B", b_copy)
+    assert guard is not None
+    # The original BR to C must survive; the BR to B is gone.
+    assert not a.branches_to("B")
+    assert a.branches_to("C")
+    # Inlined non-branch instructions carry the guard.
+    tail = a.instrs[-3:]
+    assert any(i.pred is not None for i in tail)
+
+
+def test_inline_semantics_of_taken_and_untaken_paths():
+    module = build_module(make_diamond())
+    func = module.function("main")
+    a = func.blocks["A"]
+    inline_block(func, a, "B", func.blocks["B"].copy("B"))
+    func.remove_unreachable_blocks()
+    assert run_module(module.copy(), args=(3, 5))[0] == 7  # B path (merged)
+    assert run_module(module.copy(), args=(9, 5))[0] == 16  # C path (intact)
+
+
+def test_inline_complementary_pair_unconditional():
+    """br X if c / br X if !c collapses to an unconditional merge."""
+    fb = FunctionBuilder("main", nparams=2)
+    fb.block("a")
+    c = fb.tlt(0, 1)
+    fb.br_cond(c, "x", "x")
+    fb.block("x")
+    fb.ret(fb.movi(42))
+    func = fb.finish()
+    a = func.blocks["a"]
+    guard = inline_block(func, a, "x", func.blocks["x"].copy("x"))
+    assert guard is None
+
+
+def test_inline_missing_branch_raises():
+    func = make_diamond()
+    with pytest.raises(MergeError, match="no branch"):
+        inline_block(
+            func, func.blocks["B"], "C", func.blocks["C"].copy("C")
+        )
+
+
+def test_guard_captured_at_branch_position():
+    """A later redefinition of the predicate register must not leak into
+    the guard (regression test for the convergence bug)."""
+    fb = FunctionBuilder("main", nparams=1)
+    fb.block("a")
+    c = fb.tlt(0, fb.movi(5))  # true for small args
+    fb.br("t", pred=Predicate(c, True))
+    fb.br("f", pred=Predicate(c, False))
+    func = fb.finish()
+    a = func.blocks["a"]
+    # Simulate an optimizer artifact: c is redefined *after* the branches.
+    a.append(Instruction(Opcode.MOVI, dest=c, imm=0))
+
+    fb.block("t")
+    fb.ret(fb.movi(1))
+    fb.block("f")
+    fb.ret(fb.movi(2))
+
+    inline_block(func, a, "t", func.blocks["t"].copy("t"))
+    inline_block(func, a, "f", func.blocks["f"].copy("f"))
+    func.remove_unreachable_blocks()
+    module = build_module(func)
+    assert run_module(module.copy(), args=(1,))[0] == 1
+    assert run_module(module.copy(), args=(9,))[0] == 2
+
+
+def test_merge_preview_leaves_function_untouched():
+    func = make_diamond()
+    before = {name: len(block) for name, block in func.blocks.items()}
+    preview = merge_preview(func, func.blocks["A"], func.blocks["B"])
+    assert preview.name == "A"
+    assert preview is not func.blocks["A"]
+    after = {name: len(block) for name, block in func.blocks.items()}
+    assert before == after
+
+
+def test_merge_preview_unroll_uses_saved_body():
+    """Unrolling merges the saved single-iteration body, not the current
+    (already doubled) block."""
+    fb = FunctionBuilder("main", nparams=0)
+    fb.block("entry")
+    i = fb.movi(0)
+    fb.br("loop")
+    fb.block("loop")
+    fb.mov_to(i, fb.add(i, fb.movi(1)))
+    c = fb.tlt(i, fb.movi(10))
+    fb.br_cond(c, "loop", "exit")
+    fb.block("exit")
+    fb.ret(i)
+    func = fb.finish()
+    loop = func.blocks["loop"]
+    saved = loop.copy("loop")
+    once = merge_preview(func, loop, loop, body_source=saved)
+    func.blocks["loop"] = once
+    twice = merge_preview(func, once, once, body_source=saved)
+    # Appending one saved body grows the block by roughly one body, not 2x.
+    growth1 = len(once) - len(saved)
+    growth2 = len(twice) - len(once)
+    assert growth2 <= growth1 + 2  # one extra snapshot/AND allowed
+
+
+def test_double_merge_of_loop_iterations_semantics():
+    module = build_module(make_counting_loop())
+    func = module.function("main")
+    # Merge body into head (simple single-pred merge around the loop).
+    head = func.blocks["head"]
+    inline_block(func, head, "body", func.blocks["body"].copy("body"))
+    func.remove_unreachable_blocks()
+    assert run_module(module)[0] == 45

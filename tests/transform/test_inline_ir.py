@@ -1,0 +1,173 @@
+"""Tests for IR-level inlining of small single-block functions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import FunctionBuilder, Opcode, Predicate, build_module, verify_module
+from repro.sim import run_module
+from repro.transform.inline_ir import inline_small_functions
+
+
+def make_square_module(call_pred=False):
+    sq = FunctionBuilder("square", nparams=1)
+    sq.block("entry")
+    sq.ret(sq.mul(0, 0))
+
+    main = FunctionBuilder("main", nparams=1)
+    main.block("entry")
+    if call_pred:
+        p = main.tlt(0, main.movi(10))
+        result = main.func.new_reg()
+        main.movi_to(result, -1)
+        call = main.call("square", 0, pred=Predicate(p, True))
+        main.mov_to(result, call, pred=Predicate(p, True))
+        main.ret(result)
+    else:
+        main.ret(main.call("square", 0))
+    return build_module(main.finish(), sq.finish())
+
+
+def test_inline_simple_call():
+    module = make_square_module()
+    ref = run_module(module.copy(), args=(7,))[0]
+    count = inline_small_functions(module)
+    assert count == 1
+    verify_module(module)
+    assert run_module(module, args=(7,))[0] == ref
+    # No calls remain in main.
+    assert not any(i.is_call for i in module.function("main").instructions())
+
+
+def test_inline_predicated_call():
+    module = make_square_module(call_pred=True)
+    for arg in (3, 50):
+        ref = run_module(make_square_module(call_pred=True), args=(arg,))[0]
+        inlined = make_square_module(call_pred=True)
+        inline_small_functions(inlined)
+        assert run_module(inlined, args=(arg,))[0] == ref
+
+
+def test_inline_respects_size_limit():
+    big = FunctionBuilder("big", nparams=1)
+    big.block("entry")
+    acc = 0
+    for _ in range(20):
+        acc = big.add(acc, acc)
+    big.ret(acc)
+    main = FunctionBuilder("main", nparams=1)
+    main.block("entry")
+    main.ret(main.call("big", 0))
+    module = build_module(main.finish(), big.finish())
+    assert inline_small_functions(module, max_size=10) == 0
+    assert inline_small_functions(module, max_size=64) == 1
+
+
+def test_multi_block_callee_not_inlined():
+    callee = FunctionBuilder("branchy", nparams=1)
+    callee.block("entry")
+    c = callee.tlt(0, callee.movi(0))
+    callee.br_cond(c, "neg", "pos")
+    callee.block("neg")
+    callee.ret(callee.op(Opcode.NEG, 0))
+    callee.block("pos")
+    callee.ret(0)
+    main = FunctionBuilder("main", nparams=1)
+    main.block("entry")
+    main.ret(main.call("branchy", 0))
+    module = build_module(main.finish(), callee.finish())
+    assert inline_small_functions(module) == 0
+
+
+def test_recursive_callee_not_inlined():
+    rec = FunctionBuilder("rec", nparams=1)
+    rec.block("entry")
+    rec.ret(rec.call("rec", 0))
+    main = FunctionBuilder("main", nparams=0)
+    main.block("entry")
+    main.ret(main.movi(1))
+    module = build_module(main.finish(), rec.finish())
+    assert inline_small_functions(module) == 0
+
+
+def test_transitive_inlining():
+    """helper2 calls helper1; both collapse into main over two rounds."""
+    h1 = FunctionBuilder("h1", nparams=1)
+    h1.block("entry")
+    h1.ret(h1.add(0, h1.movi(1)))
+    h2 = FunctionBuilder("h2", nparams=1)
+    h2.block("entry")
+    h2.ret(h2.call("h1", 0))
+    main = FunctionBuilder("main", nparams=1)
+    main.block("entry")
+    main.ret(main.call("h2", 0))
+    module = build_module(main.finish(), h1.finish(), h2.finish())
+    ref = run_module(module.copy(), args=(41,))[0]
+    assert inline_small_functions(module) >= 2
+    assert run_module(module, args=(41,))[0] == ref
+    assert not any(
+        i.is_call for i in module.function("main").instructions()
+    )
+
+
+def test_inlining_unlocks_hyperblock_formation():
+    """The motivation: calls fence formation; inlining removes the fence."""
+    from repro.core.convergent import form_module
+    from repro.profiles import collect_profile
+
+    def build():
+        helper = FunctionBuilder("step", nparams=1)
+        helper.block("entry")
+        helper.ret(helper.add(0, helper.movi(3)))
+        fb = FunctionBuilder("main", nparams=1)
+        fb.block("entry", entry=True)
+        acc = fb.movi(0)
+        i = fb.movi(0)
+        fb.br("head")
+        fb.block("head")
+        c = fb.tlt(i, fb.movi(20))
+        fb.br_cond(c, "body", "exit")
+        fb.block("body")
+        fb.mov_to(acc, fb.call("step", acc))
+        fb.mov_to(i, fb.add(i, fb.movi(1)))
+        fb.br("head")
+        fb.block("exit")
+        fb.ret(acc)
+        return build_module(fb.finish(), helper.finish())
+
+    fenced = build()
+    profile = collect_profile(fenced.copy(), args=(0,))
+    fenced_stats = form_module(fenced, profile=profile)
+
+    inlined = build()
+    inline_small_functions(inlined)
+    profile2 = collect_profile(inlined.copy(), args=(0,))
+    inlined_stats = form_module(inlined, profile=profile2)
+
+    assert run_module(inlined, args=(0,))[0] == run_module(fenced, args=(0,))[0] == 60
+    # The call blocked merging around the loop body; inlining unlocks it.
+    assert inlined_stats.merges > fenced_stats.merges
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=3000), arg=st.integers(-5, 5))
+def test_inline_random_helpers(seed, arg):
+    """Random straight-line helpers inline without changing results."""
+    import random
+
+    rng = random.Random(seed)
+    helper = FunctionBuilder("h", nparams=2)
+    helper.block("entry")
+    regs = [0, 1]
+    for _ in range(rng.randint(1, 6)):
+        op = rng.choice([Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR])
+        regs.append(helper.op(op, rng.choice(regs), rng.choice(regs)))
+    helper.ret(regs[-1])
+
+    main = FunctionBuilder("main", nparams=2)
+    main.block("entry")
+    main.ret(main.add(main.call("h", 0, 1), main.call("h", 1, 0)))
+    module = build_module(main.finish(), helper.finish())
+    ref = run_module(module.copy(), args=(arg, 3))[0]
+    assert inline_small_functions(module) == 2
+    verify_module(module)
+    assert run_module(module, args=(arg, 3))[0] == ref

@@ -1,0 +1,131 @@
+"""Tests for region duplication and discrete unroll/peel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LoopForest
+from repro.ir import build_module, verify_function, verify_module
+from repro.sim import run_module
+from repro.transform.duplicate import duplicate_region
+from repro.transform.loop_transforms import peel_loop, unroll_loop
+from tests.conftest import make_counting_loop, make_while_loop
+from tests.analysis.test_loops import make_nested_loops
+
+
+def test_duplicate_region_redirects_internal_edges():
+    func = make_counting_loop()
+    mapping = duplicate_region(func, ["head", "body"])
+    head_copy = func.blocks[mapping["head"]]
+    body_copy = func.blocks[mapping["body"]]
+    # Internal edge head->body becomes head'->body'.
+    assert mapping["body"] in head_copy.successors()
+    # External edge head->exit is preserved.
+    assert "exit" in head_copy.successors()
+    # The copy's back edge targets the copied header.
+    assert mapping["head"] in body_copy.successors()
+
+
+def test_duplicate_region_fresh_names_and_uids():
+    func = make_counting_loop()
+    mapping = duplicate_region(func, ["head", "body"], tag="z")
+    assert set(mapping) == {"head", "body"}
+    for original, copy_name in mapping.items():
+        assert copy_name.startswith(original + ".z")
+        original_uids = {i.uid for i in func.blocks[original]}
+        copy_uids = {i.uid for i in func.blocks[copy_name]}
+        assert not original_uids & copy_uids
+
+
+def _loop_of(func, header):
+    return LoopForest(func).loop_of_header(header)
+
+
+@settings(max_examples=25, deadline=None)
+@given(copies=st.integers(min_value=1, max_value=5))
+def test_unroll_counting_loop_preserves_result(copies):
+    func = make_counting_loop()
+    unroll_loop(func, _loop_of(func, "head"), copies)
+    verify_function(func)
+    module = build_module(func)
+    result, stats, _ = run_module(module)
+    assert result == 45
+
+
+def test_unroll_reduces_back_edge_trips():
+    base = build_module(make_counting_loop())
+    _, base_stats, _ = run_module(base)
+
+    func = make_counting_loop()
+    unroll_loop(func, _loop_of(func, "head"), 3)
+    module = build_module(func)
+    _, stats, _ = run_module(module)
+    # Same dynamic block count for whole-body while-unrolling (every
+    # iteration keeps its test) but the original header executes ~1/4 as often.
+    head_count = stats.block_counts[("main", "head")]
+    assert head_count < base_stats.block_counts[("main", "head")] / 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(copies=st.integers(min_value=1, max_value=5), arg=st.sampled_from([1, 6, 27]))
+def test_unroll_while_loop_preserves_result(copies, arg):
+    expected = run_module(build_module(make_while_loop()), args=(arg,))[0]
+    func = make_while_loop()
+    unroll_loop(func, _loop_of(func, "head"), copies)
+    verify_function(func)
+    assert run_module(build_module(func), args=(arg,))[0] == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(copies=st.integers(min_value=1, max_value=5), arg=st.sampled_from([1, 6, 27]))
+def test_peel_while_loop_preserves_result(copies, arg):
+    expected = run_module(build_module(make_while_loop()), args=(arg,))[0]
+    func = make_while_loop()
+    peel_loop(func, _loop_of(func, "head"), copies)
+    verify_function(func)
+    assert run_module(build_module(func), args=(arg,))[0] == expected
+
+
+def test_peel_redirects_entry_not_back_edge():
+    func = make_counting_loop()
+    peel_loop(func, _loop_of(func, "head"), 1)
+    # entry now enters the peeled copy, not the original header.
+    entry_succs = func.blocks["entry"].successors()
+    assert entry_succs != ["head"]
+    assert entry_succs[0].startswith("head.p")
+    # the original loop's back edge is untouched.
+    assert "head" in func.blocks["body"].successors()
+
+
+def test_peel_zero_iterations_executes_loop_zero_times():
+    """Peeled iterations still test the condition (while-loop semantics)."""
+    func = make_counting_loop(bound=0)
+    peel_loop(func, _loop_of(func, "head"), 2)
+    assert run_module(build_module(func))[0] == 0
+
+
+def test_unroll_nested_inner_loop():
+    expected = run_module(build_module(make_nested_loops()))[0]
+    func = make_nested_loops()
+    unroll_loop(func, _loop_of(func, "inner_head"), 2)
+    verify_function(func)
+    assert run_module(build_module(func))[0] == expected
+
+
+def test_peel_then_unroll_compose():
+    expected = run_module(build_module(make_while_loop()), args=(27,))[0]
+    func = make_while_loop()
+    peel_loop(func, _loop_of(func, "head"), 2)
+    # Recompute loops: peeling changed the CFG.
+    unroll_loop(func, _loop_of(func, "head"), 2)
+    verify_function(func)
+    module = build_module(func)
+    verify_module(module)
+    assert run_module(module, args=(27,))[0] == expected
+
+
+def test_zero_copies_noop():
+    func = make_counting_loop()
+    size = func.size()
+    assert unroll_loop(func, _loop_of(func, "head"), 0) == []
+    assert peel_loop(func, _loop_of(func, "head"), 0) == []
+    assert func.size() == size

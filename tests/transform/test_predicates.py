@@ -1,0 +1,118 @@
+"""Tests for predicate materialization (PredicateBuilder)."""
+
+from repro.ir import BasicBlock, FunctionBuilder, Opcode, Predicate
+from repro.transform.predicates import PredicateBuilder
+
+
+def make_builder():
+    fb = FunctionBuilder("f", nparams=4)
+    fb.block("b")
+    return fb.func, fb.func.blocks["b"]
+
+
+def test_effective_positive_is_identity():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    assert pb.effective(Predicate(2, True)) == 2
+    assert len(block) == 0
+
+
+def test_effective_negative_materializes_not():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    reg = pb.effective(Predicate(2, False))
+    assert reg != 2
+    assert block.instrs[-1].op is Opcode.NOT
+    assert block.instrs[-1].srcs == (2,)
+
+
+def test_effective_negative_cached():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    r1 = pb.effective(Predicate(2, False))
+    r2 = pb.effective(Predicate(2, False))
+    assert r1 == r2
+    assert len(block) == 1
+
+
+def test_cache_invalidated_on_redefinition():
+    from repro.ir import Instruction
+
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    r1 = pb.effective(Predicate(2, False))
+    write = Instruction(Opcode.MOVI, dest=2, imm=0)
+    block.append(write)
+    pb.note_append(write)
+    r2 = pb.effective(Predicate(2, False))
+    assert r1 != r2
+
+
+def test_conjoin_with_none_guard():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    pred = Predicate(3, True)
+    assert pb.conjoin(None, pred) is pred
+    guard = Predicate(2, True)
+    result = pb.conjoin(guard, None)
+    assert result == guard
+    assert len(block) == 0
+
+
+def test_conjoin_materializes_and():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    result = pb.conjoin(Predicate(2, True), Predicate(3, True))
+    assert result.sense is True
+    last = block.instrs[-1]
+    assert last.op is Opcode.AND and set(last.srcs) == {2, 3}
+    assert last.dest == result.reg
+
+
+def test_conjoin_cached_per_pair():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    r1 = pb.conjoin(Predicate(2, True), Predicate(3, True))
+    r2 = pb.conjoin(Predicate(2, True), Predicate(3, True))
+    assert r1 == r2
+    assert sum(1 for i in block if i.op is Opcode.AND) == 1
+
+
+def test_conjoin_negative_senses():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    result = pb.conjoin(Predicate(2, False), Predicate(3, False))
+    nots = [i for i in block if i.op is Opcode.NOT]
+    ands = [i for i in block if i.op is Opcode.AND]
+    assert len(nots) == 2 and len(ands) == 1
+    assert result.sense is True
+
+
+def test_snapshot_copies_value():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    snap = pb.snapshot(Predicate(2, True))
+    assert snap.reg != 2 and snap.sense is True
+    assert block.instrs[-1].op is Opcode.MOV
+
+
+def test_disjoin_two_predicates():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    result = pb.disjoin([Predicate(2, True), Predicate(3, False)])
+    assert result.sense is True
+    ors = [i for i in block if i.op is Opcode.OR]
+    assert len(ors) == 1
+
+
+def test_disjoin_with_none_is_none():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    assert pb.disjoin([Predicate(2, True), None]) is None
+
+
+def test_materialized_instructions_counted():
+    func, block = make_builder()
+    pb = PredicateBuilder(func, block)
+    pb.conjoin(Predicate(2, False), Predicate(3, True))
+    assert pb.materialized == len(block)
