@@ -5,11 +5,19 @@ old value remains visible, so only unpredicated definitions enter the kill
 set.  Liveness is used by dead-code elimination, by the structural
 constraint estimator (live-in = register reads, live-out∩defs = register
 writes of a TRIPS block) and by the register allocator.
+
+The solver works over the strongly connected components of the CFG in
+reverse topological order (successor components first), so each component
+is solved exactly once against already-final successor values.  That
+structure is what makes :meth:`Liveness.refresh` possible: after a merge
+changes one block, only the components upstream of the change — those a
+changed live-in set actually propagates into — are re-solved; everything
+else keeps its previous (still least-fixpoint) solution.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.analysis.predimpl import exposed_uses
 from repro.ir.function import CFG, Function
@@ -31,12 +39,71 @@ def block_use_kill(block) -> tuple[set[int], set[int]]:
     return use, kill
 
 
+def _tarjan_sccs(nodes: list[str], succs: dict[str, list[str]]) -> list[list[str]]:
+    """Strongly connected components, emitted successors-first.
+
+    Iterative Tarjan (hyperblock formation unrolls loops into long chains,
+    so recursion is off the table).  Tarjan pops a component only after
+    every component reachable from it has been emitted, which is exactly
+    the reverse-topological order a backward dataflow solver wants.
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+    node_set = set(nodes)
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, i = work[-1]
+            if i == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            out = succs.get(node, ())
+            while i < len(out):
+                nxt = out[i]
+                i += 1
+                if nxt not in node_set:
+                    continue
+                if nxt not in index:
+                    work[-1] = (node, i)
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    comp.append(member)
+                    if member == node:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
 class Liveness:
     """Per-block live-in/live-out register sets for one function.
 
     ``use_kill`` may supply precomputed per-block (use, kill) sets —
-    hyperblock formation caches them because only the merged block changes
-    between its frequent liveness recomputations.
+    hyperblock formation caches them (keyed by block version) because only
+    the merged block changes between its frequent liveness updates.
     """
 
     def __init__(
@@ -52,6 +119,9 @@ class Liveness:
         self._use: dict[str, set[int]] = {}
         self._kill: dict[str, set[int]] = {}
         self._provided = use_kill
+        #: (components re-solved, components skipped) over the last solve
+        #: or refresh — consumed by the formation perf counters.
+        self.last_solve_stats: tuple[int, int] = (0, 0)
         self._solve()
 
     def _block_use_kill(self, name: str) -> tuple[set[int], set[int]]:
@@ -59,24 +129,92 @@ class Liveness:
             return self._provided[name]
         return block_use_kill(self.func.blocks[name])
 
+    # -- solving ----------------------------------------------------------
+
+    def _solve_component(self, comp: list[str]) -> None:
+        """Solve one SCC from scratch against final successor values."""
+        live_in = self.live_in
+        live_out = self.live_out
+        use = self._use
+        kill = self._kill
+        succs = self.cfg.succs
+        if len(comp) == 1:
+            name = comp[0]
+            if name not in succs.get(name, ()):  # no self loop: one pass
+                out: set[int] = set()
+                for succ in succs.get(name, ()):
+                    if succ != name:
+                        out |= live_in.get(succ, set())
+                live_out[name] = out
+                live_in[name] = use[name] | (out - kill[name])
+                return
+        members = set(comp)
+        for name in comp:
+            live_in[name] = set(use[name])
+            live_out[name] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in comp:
+                out = set()
+                for succ in succs.get(name, ()):
+                    out |= live_in.get(succ, set())
+                new_in = use[name] | (out - kill[name])
+                if out != live_out[name] or new_in != live_in[name]:
+                    live_out[name] = out
+                    live_in[name] = new_in
+                    changed = True
+
     def _solve(self) -> None:
         blocks = list(self.func.blocks)
         for name in blocks:
             self._use[name], self._kill[name] = self._block_use_kill(name)
-            self.live_in[name] = set(self._use[name])
-            self.live_out[name] = set()
-        changed = True
-        while changed:
-            changed = False
-            for name in reversed(blocks):
-                out: set[int] = set()
-                for succ in self.cfg.succs.get(name, []):
-                    out |= self.live_in.get(succ, set())
-                new_in = self._use[name] | (out - self._kill[name])
-                if out != self.live_out[name] or new_in != self.live_in[name]:
-                    self.live_out[name] = out
-                    self.live_in[name] = new_in
-                    changed = True
+        comps = _tarjan_sccs(blocks, self.cfg.succs)
+        for comp in comps:
+            self._solve_component(comp)
+        self.last_solve_stats = (len(comps), 0)
+
+    def refresh(
+        self,
+        cfg: CFG,
+        use_kill: Optional[dict[str, tuple[set[int], set[int]]]],
+        changed: Iterable[str] = (),
+        removed: Iterable[str] = (),
+    ) -> None:
+        """Incrementally re-solve after ``changed`` blocks were mutated and
+        ``removed`` blocks were deleted (``cfg`` is the already-updated
+        view).
+
+        Only components containing a changed block — plus components a
+        changed live-in set propagates into, i.e. transitive *predecessors*
+        — are re-solved.  A skipped component's inputs (its successor
+        blocks' live-in sets) and transfer functions (use/kill) are
+        untouched, so its previous solution is still the least fixpoint.
+        """
+        self.cfg = cfg
+        self._provided = use_kill
+        dirty: set[str] = set(changed)
+        for name in removed:
+            self.live_in.pop(name, None)
+            self.live_out.pop(name, None)
+            self._use.pop(name, None)
+            self._kill.pop(name, None)
+        for name in dirty:
+            self._use[name], self._kill[name] = self._block_use_kill(name)
+        comps = _tarjan_sccs(list(self.func.blocks), cfg.succs)
+        solved = skipped = 0
+        preds = cfg.preds
+        for comp in comps:
+            if not any(name in dirty for name in comp):
+                skipped += 1
+                continue
+            solved += 1
+            old_in = {name: self.live_in.get(name) for name in comp}
+            self._solve_component(comp)
+            for name in comp:
+                if old_in[name] != self.live_in[name]:
+                    dirty.update(preds.get(name, ()))
+        self.last_solve_stats = (solved, skipped)
 
     def live_through(self, name: str) -> set[int]:
         """Registers live across the block without being used in it."""

@@ -107,6 +107,39 @@ class LoopForest:
         for loops in self._block_loops.values():
             loops.sort(key=lambda l: -l.depth)
 
+    # -- incremental update -------------------------------------------------
+
+    def rename_block(self, old: str, new: str) -> None:
+        """Account for ``old`` being absorbed into ``new`` (a SIMPLE merge).
+
+        A SIMPLE merge target has ``new`` as its unique predecessor, so
+        contracting the edge maps every occurrence of ``old`` in the forest
+        to ``new``: loop membership, back-edge latches, and (defensively)
+        headers.  Every loop containing ``old`` already contains ``new`` —
+        the only path into ``old`` runs through ``new`` — so no loop gains
+        or loses any *other* block and the nesting is unchanged.
+        """
+        for loop in self.loops.values():
+            if old in loop.blocks:
+                loop.blocks.discard(old)
+                loop.blocks.add(new)
+            if loop.back_edges:
+                loop.back_edges = [
+                    (new if src == old else src, new if dst == old else dst)
+                    for src, dst in loop.back_edges
+                ]
+        if old in self.loops:
+            loop = self.loops.pop(old)
+            loop.header = new
+            self.loops[new] = loop
+        old_loops = self._block_loops.pop(old, None)
+        if old_loops:
+            mine = self._block_loops.setdefault(new, [])
+            for loop in old_loops:
+                if loop not in mine:
+                    mine.append(loop)
+            mine.sort(key=lambda l: -l.depth)
+
     # -- queries ------------------------------------------------------------
 
     def is_header(self, name: str) -> bool:

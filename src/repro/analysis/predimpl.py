@@ -110,7 +110,8 @@ class _VersionedImplication:
         return self.version.get(reg, 0)
 
     def bump(self, reg: int) -> None:
-        self.version[reg] = self.ver(reg) + 1
+        version = self.version
+        version[reg] = version.get(reg, 0) + 1
 
     def _edge(self, src: Atom, dst: Atom) -> None:
         self.edges.setdefault(src, []).append(
@@ -121,18 +122,25 @@ class _VersionedImplication:
         """Add facts for an unpredicated combinator (call after bumping
         the destination's version)."""
         d = instr.dest
-        if instr.op is Opcode.AND:
+        op = instr.op
+        ver_get = self.version.get
+        edges = self.edges
+        dv = ver_get(d, 0)
+        if op is Opcode.AND:
             a, b = instr.srcs
-            self._edge((d, True), (a, True))
-            self._edge((d, True), (b, True))
-        elif instr.op is Opcode.NOT:
+            facts = edges.setdefault((d, True), [])
+            facts.append((dv, (a, True), ver_get(a, 0)))
+            facts.append((dv, (b, True), ver_get(b, 0)))
+        elif op is Opcode.NOT:
             (a,) = instr.srcs
-            self._edge((d, True), (a, False))
-            self._edge((d, False), (a, True))
-        elif instr.op is Opcode.MOV:
+            av = ver_get(a, 0)
+            edges.setdefault((d, True), []).append((dv, (a, False), av))
+            edges.setdefault((d, False), []).append((dv, (a, True), av))
+        elif op is Opcode.MOV:
             (a,) = instr.srcs
-            self._edge((d, True), (a, True))
-            self._edge((d, False), (a, False))
+            av = ver_get(a, 0)
+            edges.setdefault((d, True), []).append((dv, (a, True), av))
+            edges.setdefault((d, False), []).append((dv, (a, False), av))
 
     def covered(self, guard: Predicate, write: Predicate, write_ver: int) -> bool:
         """Does ``guard`` (current value) imply that ``write``'s register,
@@ -157,6 +165,14 @@ class _VersionedImplication:
         return False
 
 
+#: Memo for :func:`exposed_uses`, keyed by ``BasicBlock.version``.  Version
+#: stamps are process-unique and never reused (see ``repro.ir.block``), so a
+#: version alone identifies the exact instruction sequence it was computed
+#: from.  Cleared wholesale when it grows past ``_EXPOSED_CACHE_MAX``.
+_exposed_cache: dict[int, set[int]] = {}
+_EXPOSED_CACHE_MAX = 4096
+
+
 def exposed_uses(block: BasicBlock) -> set[int]:
     """Upward-exposed register reads, predicate-implication aware.
 
@@ -165,42 +181,86 @@ def exposed_uses(block: BasicBlock) -> set[int]:
     version-consistent implication.  The predicate register itself is read
     unconditionally (to decide execution), so it counts as an unguarded
     use.
+
+    Results are memoized on the block's version stamp; callers must treat
+    the returned set as read-only.
     """
-    imp = _VersionedImplication()
+    version = block.version
+    cached = _exposed_cache.get(version)
+    if cached is not None:
+        return cached
+
+    instrs = block.instrs
     exposed: set[int] = set()
     killed: set[int] = set()
+    exposed_add = exposed.add
+    killed_add = killed.add
+
+    for instr in instrs:
+        if instr.pred is not None:
+            break
+    else:
+        # Entirely unpredicated: every write kills, no implication needed.
+        for instr in instrs:
+            for reg in instr.srcs:
+                if reg not in killed:
+                    exposed_add(reg)
+            if instr.dest is not None:
+                killed_add(instr.dest)
+        if len(_exposed_cache) >= _EXPOSED_CACHE_MAX:
+            _exposed_cache.clear()
+        _exposed_cache[version] = exposed
+        return exposed
+
+    imp = _VersionedImplication()
+    covered = imp.covered
+    imp_version = imp.version
+    imp_ver_get = imp_version.get
+    record_combinator = imp.record_combinator
     #: reg -> list of (write predicate, version of pred reg at write)
     cond_writes: dict[int, list[tuple[Predicate, int]]] = {}
+    cond_writes_get = cond_writes.get
+    _COMBINATORS = (Opcode.AND, Opcode.NOT, Opcode.MOV)
 
-    def use(reg: int, guard: Optional[Predicate]) -> None:
-        if reg in killed or reg in exposed:
-            return
-        if guard is not None:
-            for write_pred, write_ver in cond_writes.get(reg, ()):
-                if imp.covered(guard, write_pred, write_ver):
-                    return
-        exposed.add(reg)
-
-    for instr in block.instrs:
+    for instr in instrs:
         guard = instr.pred
         if guard is not None:
-            use(guard.reg, None)
-        for reg in instr.srcs:
-            use(reg, guard)
+            g = guard.reg
+            # The predicate register is read unconditionally.
+            if g not in killed and g not in exposed:
+                exposed_add(g)
+            for reg in instr.srcs:
+                if reg in killed or reg in exposed:
+                    continue
+                writes = cond_writes_get(reg)
+                if writes is not None:
+                    for write_pred, write_ver in writes:
+                        if covered(guard, write_pred, write_ver):
+                            break
+                    else:
+                        exposed_add(reg)
+                else:
+                    exposed_add(reg)
+        else:
+            for reg in instr.srcs:
+                if reg not in killed and reg not in exposed:
+                    exposed_add(reg)
         dest = instr.dest
         if dest is not None:
+            imp_version[dest] = imp_ver_get(dest, 0) + 1
             if guard is None:
-                # Record combinator facts before bumping the version: the
-                # edges constrain the *new* value of dest, so record after
-                # bump instead.
-                imp.bump(dest)
-                killed.add(dest)
-                cond_writes.pop(dest, None)
-                if instr.op in (Opcode.AND, Opcode.NOT, Opcode.MOV):
-                    imp.record_combinator(instr)
+                # Record combinator facts after bumping the version: the
+                # edges constrain the *new* value of dest.
+                killed_add(dest)
+                if cond_writes:
+                    cond_writes.pop(dest, None)
+                if instr.op in _COMBINATORS:
+                    record_combinator(instr)
             else:
-                imp.bump(dest)
                 cond_writes.setdefault(dest, []).append(
-                    (Predicate(guard.reg, guard.sense), imp.ver(guard.reg))
+                    (Predicate(guard.reg, guard.sense), imp_ver_get(guard.reg, 0))
                 )
+    if len(_exposed_cache) >= _EXPOSED_CACHE_MAX:
+        _exposed_cache.clear()
+    _exposed_cache[version] = exposed
     return exposed

@@ -101,6 +101,7 @@ def insert_fanout_block(
         for mov in inserts.get(pos, ()):
             out.append(mov)
     block.instrs = [i for i in out]
+    block.touch()
     return stats
 
 

@@ -148,6 +148,7 @@ class RegisterAllocator:
                     + epilogue
                     + block.instrs[first_branch:]
                 )
+                block.touch()
 
     # -- reporting ----------------------------------------------------------
 

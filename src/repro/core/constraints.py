@@ -24,6 +24,10 @@ from dataclasses import dataclass, field
 from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode
 
+_LOAD = Opcode.LOAD
+_STORE = Opcode.STORE
+_MOVI = Opcode.MOVI
+
 
 @dataclass(frozen=True)
 class TripsConstraints:
@@ -111,22 +115,32 @@ def estimate_block(
     remat: set[int] = set()
     predicated_stores = 0
 
+    consumers_get = consumers.get
+    memory_ops = 0
     for instr in block.instrs:
-        if instr.op is Opcode.MOVI and instr.dest is not None:
-            remat.add(instr.dest)
-        elif instr.dest is not None:
-            remat.discard(instr.dest)
-        for reg in instr.uses():
-            consumers[reg] = consumers.get(reg, 0) + 1
-        if instr.is_memory:
-            est.memory_ops += 1
-            if instr.op is Opcode.STORE and instr.pred is not None:
-                predicated_stores += 1
-        if instr.dest is not None:
-            if instr.pred is None:
-                unconditional_writers.add(instr.dest)
+        op = instr.op
+        dest = instr.dest
+        pred = instr.pred
+        if dest is not None:
+            if op is _MOVI:
+                remat.add(dest)
             else:
-                conditional_writers.add(instr.dest)
+                remat.discard(dest)
+            if pred is None:
+                unconditional_writers.add(dest)
+            else:
+                conditional_writers.add(dest)
+        for reg in instr.srcs:
+            consumers[reg] = consumers_get(reg, 0) + 1
+        if pred is not None:
+            consumers[pred.reg] = consumers_get(pred.reg, 0) + 1
+        if op is _LOAD:
+            memory_ops += 1
+        elif op is _STORE:
+            memory_ops += 1
+            if pred is not None:
+                predicated_stores += 1
+    est.memory_ops = memory_ops
 
     # Fanout: each producer encodes `instruction_targets` consumers; extra
     # consumers need a tree of fanout movs, each contributing one net slot.
@@ -148,12 +162,15 @@ def estimate_block(
     # implication aware), writes = live-out registers the block defines.
     from repro.analysis.predimpl import exposed_uses
 
+    bank_of = constraints.bank_of
+    bank_reads = est.bank_reads
+    bank_writes = est.bank_writes
     for reg in exposed_uses(block):
-        bank = constraints.bank_of(reg)
-        est.bank_reads[bank] = est.bank_reads.get(bank, 0) + 1
+        bank = bank_of(reg)
+        bank_reads[bank] = bank_reads.get(bank, 0) + 1
     for reg in written & live_out:
-        bank = constraints.bank_of(reg)
-        est.bank_writes[bank] = est.bank_writes.get(bank, 0) + 1
+        bank = bank_of(reg)
+        bank_writes[bank] = bank_writes.get(bank, 0) + 1
 
     # Violations.
     if est.total_instructions > constraints.max_instructions:

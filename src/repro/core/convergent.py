@@ -65,12 +65,19 @@ def form_function(
     optimize_during: bool = True,
     allow_head_dup: bool = True,
     allow_block_splitting: bool = False,
+    fast_path: bool = True,
+    record_events: bool = True,
 ) -> MergeStats:
     """Form hyperblocks over every reachable block of ``func``.
 
     Seeds are processed in reverse postorder of the evolving CFG: each
     reachable block not yet consumed by an earlier hyperblock becomes the
     seed of a new one.  Unreachable remnants are swept afterwards.
+
+    ``fast_path=False`` disables incremental analysis updates and merge
+    trial memoization (the pre-optimization behavior, kept as a benchmark
+    control); ``record_events=False`` keeps ``MergeStats.events`` empty for
+    module-scale runs that only need the counters.
     """
     policy = policy or BreadthFirstPolicy()
     ctx = FormationContext(
@@ -80,6 +87,8 @@ def form_function(
         optimize_during=optimize_during,
         allow_head_dup=allow_head_dup,
         allow_block_splitting=allow_block_splitting,
+        fast_path=fast_path,
+        record_events=record_events,
     )
     processed: set[str] = set()
     while True:
@@ -89,6 +98,7 @@ def form_function(
         processed.add(seed)
         expand_block(ctx, policy, seed)
     func.remove_unreachable_blocks()
+    ctx.stats.cache = ctx.cache_stats
     return ctx.stats
 
 
@@ -121,9 +131,11 @@ def form_module(
     optimize_during: bool = True,
     allow_head_dup: bool = True,
     allow_block_splitting: bool = False,
+    fast_path: bool = True,
+    record_events: bool = True,
 ) -> MergeStats:
     """Run hyperblock formation over every function in the module."""
-    total = MergeStats()
+    total = MergeStats(record_events=record_events)
     for func in module:
         stats = form_function(
             func,
@@ -133,6 +145,8 @@ def form_module(
             optimize_during=optimize_during,
             allow_head_dup=allow_head_dup,
             allow_block_splitting=allow_block_splitting,
+            fast_path=fast_path,
+            record_events=record_events,
         )
         total.add(stats)
     return total

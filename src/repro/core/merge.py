@@ -6,12 +6,26 @@ copy the hyperblock and the merge candidate to scratch space, combine them
 the structural constraints, and only then commit the CFG transformation.
 The four CFG cases (simple merge / unroll / peel / tail duplication) are
 classified exactly as in lines 7-15 of the figure.
+
+The formation *fast path* (on by default) keeps the per-trial bill low:
+
+- analyses survive a committed merge — the CFG is patched in place, the
+  loop forest is renamed (SIMPLE merges) instead of rebuilt, and liveness
+  is re-solved only for the strongly connected components a change can
+  reach — instead of being thrown away wholesale;
+- rejected trials are memoized by block version, so a ``(hyperblock,
+  candidate)`` pair the policy re-offers is not re-previewed, re-optimized
+  and re-estimated when neither block nor its live-out environment changed.
+
+``fast_path=False`` restores the original invalidate-everything behavior
+and is kept as the benchmark control; formed IR is identical either way
+(pinned by the cache-equivalence tests).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 from repro.analysis.liveness import Liveness
@@ -32,9 +46,47 @@ class MergeKind(enum.Enum):
     UNROLL = "unroll"
 
 
+#: Safety valve for the event log: even with ``record_events`` on, stop
+#: appending past this many events (far beyond any real formation run).
+MAX_RECORDED_EVENTS = 1_000_000
+
+
+@dataclass
+class FormationCacheStats:
+    """Perf counters for the formation fast path (see BENCH_formation.json)."""
+
+    trial_hits: int = 0  # rejected trials answered from the memo table
+    trial_misses: int = 0  # memoizable trials that had to run
+    trial_stores: int = 0  # rejections recorded into the memo table
+    use_kill_hits: int = 0  # per-block use/kill sets served by version
+    use_kill_misses: int = 0
+    cfg_patches: int = 0  # commits that patched the CFG in place
+    loop_renames: int = 0  # loop forests updated by rename (SIMPLE merges)
+    loop_rebuilds: int = 0  # loop forests dropped for lazy rebuild
+    liveness_sccs_solved: int = 0  # SCCs re-solved by incremental refresh
+    liveness_sccs_skipped: int = 0  # SCCs whose solution survived a commit
+
+    def add(self, other: "FormationCacheStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def trial_hit_rate(self) -> float:
+        total = self.trial_hits + self.trial_misses
+        return self.trial_hits / total if total else 0.0
+
+
 @dataclass
 class MergeStats:
-    """The paper's m/t/u/p counters plus a detailed event log."""
+    """The paper's m/t/u/p counters plus a detailed event log.
+
+    The event log grows with every committed merge; callers that form at
+    module scale and only need the counters can pass ``record_events=False``
+    (threaded through ``form_function``/``form_module``) to keep it empty.
+    """
 
     merges: int = 0
     tail_dups: int = 0
@@ -42,7 +94,11 @@ class MergeStats:
     peels: int = 0
     attempts: int = 0
     rejected_illegal: int = 0
+    record_events: bool = True
     events: list[tuple[str, str, str]] = field(default_factory=list)
+    #: Fast-path perf counters of the run that produced these stats
+    #: (attached by ``form_function``; aggregated by ``add``).
+    cache: Optional[FormationCacheStats] = None
 
     def record(self, kind: MergeKind, hb: str, target: str) -> None:
         self.merges += 1
@@ -52,7 +108,8 @@ class MergeStats:
             self.unrolls += 1
         elif kind is MergeKind.PEEL:
             self.peels += 1
-        self.events.append((kind.value, hb, target))
+        if self.record_events and len(self.events) < MAX_RECORDED_EVENTS:
+            self.events.append((kind.value, hb, target))
 
     @property
     def mtup(self) -> tuple[int, int, int, int]:
@@ -66,14 +123,24 @@ class MergeStats:
         self.peels += other.peels
         self.attempts += other.attempts
         self.rejected_illegal += other.rejected_illegal
-        self.events.extend(other.events)
+        if self.record_events:
+            room = MAX_RECORDED_EVENTS - len(self.events)
+            if room > 0:
+                self.events.extend(other.events[:room])
+        if other.cache is not None:
+            if self.cache is None:
+                self.cache = FormationCacheStats()
+            self.cache.add(other.cache)
+
 
 
 class FormationContext:
     """Shared state for forming hyperblocks within one function.
 
-    Caches liveness and the loop forest, invalidating them whenever a merge
-    mutates the CFG.
+    Caches liveness, the CFG view and the loop forest across merges.  With
+    ``fast_path`` on (the default) a committed merge updates them in place
+    (see :meth:`note_commit`); with it off every commit discards them, as
+    the original implementation did.
     """
 
     def __init__(
@@ -85,6 +152,9 @@ class FormationContext:
         allow_head_dup: bool = True,
         allow_block_splitting: bool = False,
         max_merges_per_block: int = 512,
+        fast_path: bool = True,
+        memoize_trials: Optional[bool] = None,
+        record_events: bool = True,
     ):
         self.func = func
         self.profile = profile if profile is not None else ProfileData()
@@ -95,10 +165,29 @@ class FormationContext:
         #: whole, split it and merge the first piece.
         self.allow_block_splitting = allow_block_splitting
         self.max_merges_per_block = max_merges_per_block
-        self.stats = MergeStats()
+        self.fast_path = fast_path
+        # Trial memoization is only sound when estimates are invariant
+        # under renaming of the preview's fresh guard registers: strict
+        # banking assigns registers to banks by number, so two previews of
+        # the same merge can estimate differently there.  Block splitting
+        # gives rejections side effects (the split itself), so it also
+        # disables the memo table.
+        if memoize_trials is None:
+            memoize_trials = (
+                fast_path
+                and not self.constraints.strict_banking
+                and not allow_block_splitting
+            )
+        self.memoize_trials = memoize_trials
+        self.stats = MergeStats(record_events=record_events)
+        self.cache_stats = FormationCacheStats()
         #: loop header name -> saved single-iteration body for unrolling
         self.saved_bodies: dict[str, BasicBlock] = {}
-        self._use_kill_cache: dict = {}
+        #: (hb, hb.version, s, s.version, body.version, live-out) -> number
+        #: of fresh registers the rejected trial minted (replayed on a hit
+        #: so register numbering matches an uncached run exactly).
+        self._rejected_trials: dict[tuple, int] = {}
+        self._use_kill_cache: dict[str, tuple[int, tuple[set[int], set[int]]]] = {}
         self._liveness: Optional[Liveness] = None
         self._loops: Optional[LoopForest] = None
         self._cfg = None
@@ -106,9 +195,52 @@ class FormationContext:
     # -- cached analyses ----------------------------------------------------
 
     def invalidate(self) -> None:
+        """Discard every cached analysis (the slow, always-sound path)."""
         self._liveness = None
         self._loops = None
         self._cfg = None
+
+    def note_commit(
+        self, hb_name: str, preview: BasicBlock, removed: Optional[str],
+        kind: MergeKind,
+    ) -> None:
+        """Bring cached analyses up to date after a committed merge.
+
+        A commit changes the successor list of exactly one block
+        (``hb_name``) and possibly deletes one block (``removed``), so:
+
+        - the CFG view is patched in place;
+        - the loop forest survives a SIMPLE merge by renaming the absorbed
+          block to the hyperblock (contracting a single-predecessor edge
+          maps membership, latches and headers one-for-one and cannot
+          change nesting); any other kind drops it for lazy rebuild;
+        - liveness re-solves only the SCCs the change propagates into.
+        """
+        if not self.fast_path:
+            self.invalidate()
+            return
+        if self._cfg is not None:
+            self._cfg.update_block(hb_name, preview.successors())
+            if removed is not None:
+                self._cfg.remove_node(removed)
+            self.cache_stats.cfg_patches += 1
+        if self._loops is not None:
+            if kind is MergeKind.SIMPLE and removed is not None:
+                self._loops.rename_block(removed, hb_name)
+                self.cache_stats.loop_renames += 1
+            else:
+                self._loops = None
+                self.cache_stats.loop_rebuilds += 1
+        if self._liveness is not None:
+            self._liveness.refresh(
+                self.cfg,
+                self._use_kill_view(),
+                changed=(hb_name,),
+                removed=(removed,) if removed is not None else (),
+            )
+            solved, skipped = self._liveness.last_solve_stats
+            self.cache_stats.liveness_sccs_solved += solved
+            self.cache_stats.liveness_sccs_skipped += skipped
 
     @property
     def cfg(self):
@@ -127,22 +259,26 @@ class FormationContext:
     def _use_kill_view(self) -> dict[str, tuple[set[int], set[int]]]:
         """Per-block (use, kill) sets, cached across merges.
 
-        Only the merged block changes between liveness recomputations, and
-        a committed merge installs a *new* block object, so ``id(block)``
-        plus the instruction count form a safe cache token.
+        Keyed by the block's monotonic version stamp: every mutation path
+        bumps it and a stamp is never reused, so — unlike the ``id(block)``
+        token this replaced — a recycled object can never serve stale sets.
         """
         from repro.analysis.liveness import block_use_kill
 
         view: dict[str, tuple[set[int], set[int]]] = {}
-        fresh: dict[str, tuple[int, int, tuple[set[int], set[int]]]] = {}
+        fresh: dict[str, tuple[int, tuple[set[int], set[int]]]] = {}
+        cache = self._use_kill_cache
+        stats = self.cache_stats
         for name, block in self.func.blocks.items():
-            token = (id(block), len(block.instrs))
-            cached = self._use_kill_cache.get(name)
-            if cached is not None and (cached[0], cached[1]) == token:
-                sets = cached[2]
+            version = block.version
+            cached = cache.get(name)
+            if cached is not None and cached[0] == version:
+                sets = cached[1]
+                stats.use_kill_hits += 1
             else:
                 sets = block_use_kill(block)
-            fresh[name] = (token[0], token[1], sets)
+                stats.use_kill_misses += 1
+            fresh[name] = (version, sets)
             view[name] = sets
         self._use_kill_cache = fresh
         return view
@@ -252,9 +388,33 @@ def _try_split_candidate(
         assert first_block.instrs[-1].op is Opcode.BR
         first_block.instrs.pop()
         first_block.instrs.extend(func.blocks[second].instrs)
+        first_block.touch()
         func.remove_block(second)
         ctx.invalidate()
     return result
+
+
+def _trial_live_out(
+    ctx: FormationContext,
+    hb: BasicBlock,
+    s_name: str,
+    candidate_succs: list[str],
+) -> set[int]:
+    """Live-out the merged preview will have, computed *without* building it.
+
+    The preview's successor set is exactly ``(hb.successors() - {s}) |
+    body.successors()``: if-conversion drops the branches into the absorbed
+    target and inherits the inlined body's branches (including any that
+    re-enter ``s`` or the hyperblock itself).
+    """
+    live: set[int] = set()
+    live_in = ctx.liveness.live_in
+    for succ in hb.successors():
+        if succ != s_name:
+            live |= live_in.get(succ, set())
+    for succ in candidate_succs:
+        live |= live_in.get(succ, set())
+    return live
 
 
 def merge_blocks(
@@ -281,27 +441,59 @@ def merge_blocks(
         target = func.blocks[s_name]
 
     candidate_succs = list((body_source or target).successors())
+    live_out = _trial_live_out(ctx, hb, s_name, candidate_succs)
+
+    # A trial's outcome is a pure function of the two blocks' contents (the
+    # saved body, for unrolls), the live-out environment and the (fixed)
+    # constraints — the merge *kind* affects only how a success commits, so
+    # rejections can be memoized kind-agnostically.
+    memo_key = None
+    if ctx.memoize_trials and not _splitting:
+        memo_key = (
+            hb_name,
+            hb.version,
+            s_name,
+            target.version,
+            body_source.version if body_source is not None else 0,
+            frozenset(live_out),
+        )
+        cached_regs = ctx._rejected_trials.get(memo_key)
+        if cached_regs is not None:
+            # Known rejection: skip the preview entirely, but mint the same
+            # fresh registers it would have, so committed merges downstream
+            # number their guards identically to an uncached run.
+            ctx.cache_stats.trial_hits += 1
+            ctx.stats.rejected_illegal += 1
+            if cached_regs:
+                func.note_reg(func.max_reg() + cached_regs - 1)
+            return None
+        ctx.cache_stats.trial_misses += 1
 
     # Scratch-space trial merge (lines 1-6 of MergeBlocks).
+    regs_before = func.max_reg()
     preview = merge_preview(func, hb, target, body_source=body_source)
-    live_out = ctx.live_out_of(preview)
     if ctx.optimize_during:
         optimize_block(preview, live_out)
     estimate = estimate_block(preview, live_out, ctx.constraints)
     if not estimate.legal:
         ctx.stats.rejected_illegal += 1
+        if memo_key is not None:
+            ctx._rejected_trials[memo_key] = func.max_reg() - regs_before
+            ctx.cache_stats.trial_stores += 1
         if ctx.allow_block_splitting and not _splitting:
             return _try_split_candidate(ctx, hb_name, s_name, kind)
         return None
 
     # Commit (lines 7-16).
     func.blocks[hb_name] = preview
+    removed: Optional[str] = None
     if (
         kind is MergeKind.SIMPLE
         and s_name != func.entry
         and not _saved_body_references(ctx, s_name)
     ):
         func.remove_block(s_name)
+        removed = s_name
     ctx.stats.record(kind, hb_name, s_name)
-    ctx.invalidate()
+    ctx.note_commit(hb_name, preview, removed, kind)
     return candidate_succs

@@ -7,7 +7,9 @@ from repro.harness.experiment import (
     heuristic_config,
     ordering_config,
 )
+from repro.harness.bench import format_report, run_bench, write_json
 from repro.harness.occupancy import OccupancyReport, occupancy_report
+from repro.harness.parallel import form_many_parallel, form_module_parallel
 from repro.harness.tables import (
     RegressionResult,
     TableResult,
@@ -26,6 +28,11 @@ __all__ = [
     "TableResult",
     "WorkloadExperiment",
     "figure7",
+    "form_many_parallel",
+    "form_module_parallel",
+    "format_report",
+    "run_bench",
+    "write_json",
     "heuristic_config",
     "ordering_config",
     "table1",

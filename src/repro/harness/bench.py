@@ -1,0 +1,228 @@
+"""Formation performance benchmark (``BENCH_formation.json``).
+
+Times end-to-end hyperblock formation over the SPEC workload suite in
+three configurations:
+
+- ``sequential_fast``   — ``form_module`` with the fast path (default),
+- ``sequential_legacy`` — ``form_module(fast_path=False)``, the
+  invalidate-everything control,
+- ``parallel``          — :func:`repro.harness.parallel.form_many_parallel`.
+
+Module construction and profile collection are *not* timed: the benchmark
+isolates formation, which is what this repo's fast path optimizes.  Each
+configuration is timed best-of-``repeat`` on fresh modules.  Merge counts
+are asserted identical across configurations — a formation speedup that
+changes the formed IR is a bug, not a win.
+
+``BASELINE_PRE_PR_S`` pins the wall time of the same sequential loop
+measured before the fast-path work (commit d482983), so the headline
+``speedup_vs_pre_pr`` survives the old code no longer being checked out.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+
+from repro.core.convergent import form_module
+from repro.harness.parallel import form_many_parallel
+from repro.profiles import collect_profile
+from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_ORDER
+
+#: Wall time of the identical sequential loop at commit d482983 (pre-PR),
+#: best of 3 on the reference container.  Kept as data so the speedup the
+#: fast path delivers stays measurable after the old code is gone.
+BASELINE_PRE_PR_S = 0.4773
+BASELINE_COMMIT = "d482983"
+
+#: Small subset for CI smoke runs (--quick): a mix of loopy and branchy
+#: workloads, not a representative sample — quick mode never compares
+#: against the pre-PR baseline.
+QUICK_SUBSET = ("ammp", "art", "bzip2", "equake", "mcf")
+
+
+def prepare_workloads(subset: Optional[list[str]] = None):
+    """Build modules and collect profiles (untimed setup)."""
+    names = list(subset) if subset else list(SPEC_ORDER)
+    unknown = [name for name in names if name not in SPEC_BENCHMARKS]
+    if unknown:
+        raise SystemExit(
+            f"unknown workload(s): {', '.join(unknown)}; "
+            f"available: {', '.join(SPEC_ORDER)}"
+        )
+    prepared = []
+    for name in names:
+        workload = SPEC_BENCHMARKS[name]
+        module = workload.module()
+        profile = collect_profile(
+            module, args=workload.args, preload=workload.preload
+        )
+        prepared.append((name, workload, profile))
+    return prepared
+
+
+def _time_sequential(prepared, fast_path: bool, repeat: int):
+    best = None
+    merges = mtup = None
+    for _ in range(repeat):
+        modules = [(w.module(), p) for _, w, p in prepared]
+        start = time.perf_counter()
+        total_merges = 0
+        total_mtup = (0, 0, 0, 0)
+        for module, profile in modules:
+            stats = form_module(
+                module, profile=profile, fast_path=fast_path,
+                record_events=False,
+            )
+            total_merges += stats.merges
+            total_mtup = tuple(
+                a + b for a, b in zip(total_mtup, stats.mtup)
+            )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        merges, mtup = total_merges, total_mtup
+    return best, merges, mtup
+
+
+def _time_parallel(prepared, workers: Optional[int], repeat: int):
+    best = None
+    merges = None
+    for _ in range(repeat):
+        items = [(w.module(), p) for _, w, p in prepared]
+        start = time.perf_counter()
+        results = form_many_parallel(
+            items, max_workers=workers, record_events=False
+        )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        merges = sum(stats.merges for _, stats in results)
+    return best, merges
+
+
+def _collect_cache_stats(prepared) -> dict:
+    """One instrumented fast-path pass; returns aggregated counters."""
+    from repro.core.merge import FormationCacheStats
+
+    total = FormationCacheStats()
+    attempts = 0
+    for _, workload, profile in prepared:
+        module = workload.module()
+        stats = form_module(
+            module, profile=profile, fast_path=True, record_events=False
+        )
+        attempts += stats.attempts
+        if stats.cache is not None:
+            total.add(stats.cache)
+    result = total.as_dict()
+    result["trial_hit_rate"] = round(total.trial_hit_rate, 4)
+    result["attempts"] = attempts
+    return result
+
+
+def run_bench(
+    subset: Optional[list[str]] = None,
+    quick: bool = False,
+    workers: Optional[int] = None,
+    repeat: int = 3,
+    parallel: bool = True,
+) -> dict:
+    """Run the formation benchmark; returns the BENCH_formation.json dict."""
+    if quick and subset is None:
+        subset = list(QUICK_SUBSET)
+        repeat = min(repeat, 2)
+    prepared = prepare_workloads(subset)
+    names = [name for name, _, _ in prepared]
+
+    fast_s, fast_merges, mtup = _time_sequential(prepared, True, repeat)
+    legacy_s, legacy_merges, legacy_mtup = _time_sequential(
+        prepared, False, repeat
+    )
+    if (fast_merges, mtup) != (legacy_merges, legacy_mtup):
+        raise RuntimeError(
+            "fast path changed formation results: "
+            f"{(fast_merges, mtup)} != {(legacy_merges, legacy_mtup)}"
+        )
+
+    result = {
+        "benchmark": "formation",
+        "quick": quick,
+        "workloads": names,
+        "repeat": repeat,
+        "sequential_fast_s": round(fast_s, 4),
+        "sequential_legacy_s": round(legacy_s, 4),
+        "speedup_fast_vs_legacy": round(legacy_s / fast_s, 3),
+        "merges": fast_merges,
+        "mtup": list(mtup),
+        "merges_per_sec": round(fast_merges / fast_s, 1),
+        "cache": _collect_cache_stats(prepared),
+    }
+    # The pinned pre-PR baseline only describes the full suite.
+    if not quick and subset is None:
+        result["baseline_pre_pr_s"] = BASELINE_PRE_PR_S
+        result["baseline_commit"] = BASELINE_COMMIT
+        result["speedup_vs_pre_pr"] = round(BASELINE_PRE_PR_S / fast_s, 3)
+
+    if parallel:
+        par_s, par_merges = _time_parallel(prepared, workers, repeat)
+        if par_merges != fast_merges:
+            raise RuntimeError(
+                "parallel formation changed merge count: "
+                f"{par_merges} != {fast_merges}"
+            )
+        result["parallel_s"] = round(par_s, 4)
+        result["parallel_workers"] = workers or 0  # 0 = executor default
+        result["speedup_parallel_vs_fast"] = round(fast_s / par_s, 3)
+    return result
+
+
+def format_report(result: dict) -> str:
+    lines = [
+        "Formation benchmark"
+        + (" (quick subset)" if result.get("quick") else ""),
+        f"  workloads: {len(result['workloads'])}, "
+        f"best of {result['repeat']}",
+        f"  sequential fast:   {result['sequential_fast_s']:.4f}s "
+        f"({result['merges_per_sec']:.0f} merges/s)",
+        f"  sequential legacy: {result['sequential_legacy_s']:.4f}s "
+        f"(fast is {result['speedup_fast_vs_legacy']:.2f}x)",
+    ]
+    if "speedup_vs_pre_pr" in result:
+        lines.append(
+            f"  pre-PR baseline:   {result['baseline_pre_pr_s']:.4f}s at "
+            f"{result['baseline_commit']} "
+            f"(fast is {result['speedup_vs_pre_pr']:.2f}x)"
+        )
+    if "parallel_s" in result:
+        lines.append(
+            f"  parallel:          {result['parallel_s']:.4f}s "
+            f"({result['speedup_parallel_vs_fast']:.2f}x vs fast)"
+        )
+    cache = result["cache"]
+    lines.append(
+        f"  merges: {result['merges']} (m/t/u/p = "
+        + "/".join(str(n) for n in result["mtup"])
+        + f"), attempts: {cache['attempts']}"
+    )
+    lines.append(
+        f"  trial memo: {cache['trial_hits']} hits / "
+        f"{cache['trial_misses']} misses "
+        f"(hit rate {cache['trial_hit_rate']:.1%}); "
+        f"use/kill cache: {cache['use_kill_hits']} hits / "
+        f"{cache['use_kill_misses']} misses"
+    )
+    lines.append(
+        f"  liveness SCCs: {cache['liveness_sccs_solved']} re-solved, "
+        f"{cache['liveness_sccs_skipped']} skipped; "
+        f"loop forests: {cache['loop_renames']} renamed, "
+        f"{cache['loop_rebuilds']} rebuilt"
+    )
+    return "\n".join(lines)
+
+
+def write_json(result: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -7,11 +7,13 @@ Usage::
     python -m repro.harness table3
     python -m repro.harness figure7
     python -m repro.harness all --out results.txt
+    python -m repro.harness bench [--quick] [--json BENCH_formation.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 from typing import Optional
 
@@ -33,17 +35,69 @@ def run(argv: Optional[list[str]] = None) -> str:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "table2", "table3", "figure7", "all"],
-        help="which experiment to regenerate",
+        choices=["table1", "table2", "table3", "figure7", "all", "bench"],
+        help="which experiment to regenerate ('bench' times formation)",
     )
     parser.add_argument(
         "--subset",
         help="comma-separated benchmark names (default: the full suite)",
     )
     parser.add_argument("--out", help="also write the report to this file")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="bench: small workload subset for CI smoke runs",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_formation.json",
+        help="bench: where to write the JSON result",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="bench: process-pool size for the parallel configuration",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="bench: timing repetitions (best-of)",
+    )
+    parser.add_argument(
+        "--no-parallel", action="store_true",
+        help="bench: skip the process-pool configuration",
+    )
+    parser.add_argument(
+        "--ceiling", type=float, default=None,
+        help="bench: fail (exit 1) if sequential fast time exceeds this "
+        "many seconds",
+    )
     args = parser.parse_args(argv)
 
     subset = _parse_subset(args.subset)
+
+    if args.target == "bench":
+        from repro.harness.bench import format_report, run_bench, write_json
+
+        result = run_bench(
+            subset=subset,
+            quick=args.quick,
+            workers=args.workers,
+            repeat=args.repeat,
+            parallel=not args.no_parallel,
+        )
+        if args.json:
+            write_json(result, args.json)
+        report = format_report(result)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        if (
+            args.ceiling is not None
+            and result["sequential_fast_s"] > args.ceiling
+        ):
+            print(report, file=sys.stderr)
+            raise SystemExit(
+                f"bench ceiling exceeded: {result['sequential_fast_s']:.4f}s "
+                f"> {args.ceiling:.4f}s"
+            )
+        return report
     sections: list[str] = []
     started = time.time()
 

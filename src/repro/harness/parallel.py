@@ -1,0 +1,116 @@
+"""Opt-in parallel formation drivers.
+
+Hyperblock formation is embarrassingly parallel at function (and module)
+granularity: formation never looks across function boundaries, and the
+profile is read-only.  These drivers fan work out over a
+``ProcessPoolExecutor`` — processes, not threads, because formation is
+pure CPython bytecode and holds the GIL.
+
+Determinism: workers are *scheduled* largest-first for load balance, but
+results are accumulated in the caller's original order, so the combined
+:class:`MergeStats` (and the formed IR itself) is bit-identical to a
+sequential run.  Block version stamps are process-local and re-issued on
+unpickle (see ``repro.ir.block``), so shipping functions across the pool
+can never alias an analysis cache in the parent.
+
+Everything here is opt-in: the sequential drivers in
+``repro.core.convergent`` remain the default, and both drivers below fall
+back to them for trivial inputs or ``max_workers=1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Sequence
+
+from repro.core.convergent import form_function, form_module
+from repro.core.merge import MergeStats
+from repro.ir.function import Function, Module
+from repro.profiles.data import ProfileData
+
+
+def _form_one(payload):
+    """Worker: form a single pickled function; module-level for pickling."""
+    func, profile, kwargs = payload
+    stats = form_function(func, profile=profile, **kwargs)
+    return func, stats
+
+
+def _form_module_task(payload):
+    """Worker: form a whole pickled module; module-level for pickling."""
+    module, profile, kwargs = payload
+    stats = form_module(module, profile=profile, **kwargs)
+    return module, stats
+
+
+def form_module_parallel(
+    module: Module,
+    profile: Optional[ProfileData] = None,
+    max_workers: Optional[int] = None,
+    **form_kwargs,
+) -> MergeStats:
+    """Form every function of ``module`` across a process pool.
+
+    ``form_kwargs`` are forwarded to :func:`form_function` (``constraints``,
+    ``policy``, ``fast_path``, ``record_events``, ...) and must be picklable.
+    The module's functions are replaced in place by their formed versions;
+    the returned stats accumulate per-function stats in module order, so
+    the result is identical to :func:`form_module` on the same input.
+
+    Falls back to the sequential driver when the module has at most one
+    function or ``max_workers == 1`` — the pool's pickling overhead
+    dwarfs formation time for tiny inputs.
+    """
+    record_events = form_kwargs.get("record_events", True)
+    names = list(module.functions)
+    if len(names) <= 1 or max_workers == 1:
+        return form_module(module, profile=profile, **form_kwargs)
+
+    # Schedule biggest functions first so the pool drains evenly.
+    order = sorted(names, key=lambda n: (-module.functions[n].size(), n))
+    futures = {}
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for name in order:
+            payload = (module.functions[name], profile, form_kwargs)
+            futures[name] = pool.submit(_form_one, payload)
+        results = {name: futures[name].result() for name in names}
+
+    total = MergeStats(record_events=record_events)
+    for name in names:  # accumulate in module order, not completion order
+        formed, stats = results[name]
+        module.functions[name] = formed
+        total.add(stats)
+    return total
+
+
+def form_many_parallel(
+    items: Sequence[tuple[Module, Optional[ProfileData]]],
+    max_workers: Optional[int] = None,
+    **form_kwargs,
+) -> list[tuple[Module, MergeStats]]:
+    """Form many independent (module, profile) pairs across a process pool.
+
+    This is the shape benchmark suites have — many small modules — where
+    per-function fan-out would starve the pool.  Returns ``(formed module,
+    stats)`` pairs in input order.  Note the *returned* modules are the
+    formed ones (round-tripped through the pool); the caller's input
+    modules are left untouched.
+    """
+    if len(items) <= 1 or max_workers == 1:
+        out = []
+        for module, profile in items:
+            stats = form_module(module, profile=profile, **form_kwargs)
+            out.append((module, stats))
+        return out
+
+    indexed = sorted(
+        range(len(items)), key=lambda i: (-items[i][0].size(), items[i][0].name)
+    )
+    futures = {}
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for i in indexed:
+            module, profile = items[i]
+            futures[i] = pool.submit(
+                _form_module_task, (module, profile, form_kwargs)
+            )
+        return [futures[i].result() for i in range(len(items))]

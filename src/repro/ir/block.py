@@ -10,29 +10,52 @@ The functional simulator enforces the invariant dynamically.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator, Optional
 
 from repro.ir.instruction import Instruction
 from repro.ir.opcodes import Opcode
 
+#: Process-wide monotonic stamp source for block versions.  Unlike
+#: ``id()``, a stamp is never reused, so ``(name, version)`` is a safe
+#: cache token even after a block object is garbage-collected and its
+#: address recycled.
+_version_counter = itertools.count(1)
+
 
 class BasicBlock:
-    """A single-entry, multiple-exit region of predicated instructions."""
+    """A single-entry, multiple-exit region of predicated instructions.
 
-    __slots__ = ("name", "instrs")
+    Every block carries a monotonically increasing ``version`` stamp,
+    refreshed by the mutating helpers below.  Analyses (use/kill sets,
+    liveness, merge-trial memoization) key their caches on it.  Code that
+    mutates ``instrs`` directly — rather than through :meth:`append`,
+    :meth:`extend` or :meth:`retarget_branches` — must call :meth:`touch`
+    afterwards to keep those caches honest.
+    """
+
+    __slots__ = ("name", "instrs", "version")
 
     def __init__(self, name: str, instrs: Optional[list[Instruction]] = None):
         self.name = name
         self.instrs: list[Instruction] = list(instrs) if instrs else []
+        self.version = next(_version_counter)
 
     # -- construction -----------------------------------------------------
 
+    def touch(self) -> int:
+        """Re-stamp the block after a mutation; returns the new version."""
+        self.version = next(_version_counter)
+        return self.version
+
     def append(self, instr: Instruction) -> Instruction:
         self.instrs.append(instr)
+        self.version = next(_version_counter)
         return instr
 
     def extend(self, instrs) -> None:
         self.instrs.extend(instrs)
+        self.version = next(_version_counter)
 
     # -- queries ------------------------------------------------------------
 
@@ -103,6 +126,8 @@ class BasicBlock:
             if instr.op is Opcode.BR and instr.target == old:
                 instr.target = new
                 count += 1
+        if count:
+            self.version = next(_version_counter)
         return count
 
     def size(self) -> int:
@@ -111,6 +136,19 @@ class BasicBlock:
     def copy(self, new_name: str) -> "BasicBlock":
         """Deep-copy the block under a new name (fresh instruction uids)."""
         return BasicBlock(new_name, [i.copy() for i in self.instrs])
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        return (self.name, self.instrs)
+
+    def __setstate__(self, state) -> None:
+        # Versions are process-local: a block shipped across a process
+        # boundary (the parallel formation driver) is re-stamped from the
+        # local counter so it can never alias a stamp already handed out
+        # in this process.
+        self.name, self.instrs = state
+        self.version = next(_version_counter)
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instrs)

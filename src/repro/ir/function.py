@@ -2,16 +2,25 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator, Optional
 
 from repro.ir.block import BasicBlock
 
+#: Process-wide monotonic stamp source for function versions (bumped when
+#: the block *set* changes; see :attr:`Function.version`).
+_fn_version_counter = itertools.count(1)
+
 
 class CFG:
-    """An immutable successor/predecessor view of a function's blocks.
+    """A successor/predecessor view of a function's blocks.
 
-    Recomputed from branch targets on demand; transforms mutate blocks and
-    then simply ask for a fresh view.
+    Recomputed from branch targets on demand; most transforms mutate blocks
+    and then simply ask for a fresh view.  Hyperblock formation instead
+    patches the view in place through :meth:`update_block` /
+    :meth:`remove_node` — a committed merge changes the successor list of
+    exactly one block (and possibly deletes the absorbed block), so a full
+    rebuild per merge is pure waste.
     """
 
     __slots__ = ("succs", "preds")
@@ -29,6 +38,28 @@ class CFG:
     def num_preds(self, name: str) -> int:
         return len(self.preds.get(name, []))
 
+    # -- in-place patching ----------------------------------------------
+
+    def update_block(self, name: str, new_succs: list[str]) -> None:
+        """Replace ``name``'s successor list, fixing predecessor lists."""
+        for target in self.succs.get(name, ()):
+            preds = self.preds.get(target)
+            if preds is not None and name in preds:
+                preds.remove(name)
+        self.succs[name] = list(new_succs)
+        for target in new_succs:
+            preds = self.preds.get(target)
+            if preds is not None:
+                preds.append(name)
+
+    def remove_node(self, name: str) -> None:
+        """Drop ``name`` from the view (after the block's removal)."""
+        for target in self.succs.pop(name, ()):
+            preds = self.preds.get(target)
+            if preds is not None and name in preds:
+                preds.remove(name)
+        self.preds.pop(name, None)
+
 
 class Function:
     """A function: an entry block plus a set of named basic blocks.
@@ -45,6 +76,14 @@ class Function:
         self.entry: Optional[str] = None
         self._next_reg = (max(self.params) + 1) if self.params else 0
         self._name_counter = 0
+        #: Monotonic stamp bumped whenever the block set changes (add or
+        #: remove); per-block content changes bump the block's own version.
+        self.version = next(_fn_version_counter)
+
+    def touch(self) -> int:
+        """Re-stamp the function after a structural mutation."""
+        self.version = next(_fn_version_counter)
+        return self.version
 
     # -- namespaces ---------------------------------------------------------
 
@@ -82,12 +121,14 @@ class Function:
         for instr in block:
             for reg in instr.defs() + instr.uses():
                 self.note_reg(reg)
+        self.version = next(_fn_version_counter)
         return block
 
     def remove_block(self, name: str) -> None:
         if name == self.entry:
             raise ValueError(f"cannot remove entry block {name!r}")
         del self.blocks[name]
+        self.version = next(_fn_version_counter)
 
     def block(self, name: str) -> BasicBlock:
         return self.blocks[name]
@@ -122,6 +163,8 @@ class Function:
         removed = [name for name in self.blocks if name not in reachable]
         for name in removed:
             del self.blocks[name]
+        if removed:
+            self.version = next(_fn_version_counter)
         return removed
 
     def copy(self) -> "Function":
@@ -133,6 +176,12 @@ class Function:
         clone._next_reg = self._next_reg
         clone._name_counter = self._name_counter
         return clone
+
+    def __setstate__(self, state) -> None:
+        # Versions are process-local; re-stamp on unpickle (see
+        # BasicBlock.__setstate__).
+        self.__dict__.update(state)
+        self.version = next(_fn_version_counter)
 
     def __repr__(self) -> str:
         return f"<Function @{self.name} [{len(self.blocks)} blocks]>"

@@ -141,16 +141,21 @@ class Instruction:
 
     def copy(self) -> "Instruction":
         """A fresh instruction with identical payload but a new uid."""
-        return Instruction(
-            self.op,
-            dest=self.dest,
-            srcs=self.srcs,
-            imm=self.imm,
-            target=self.target,
-            callee=self.callee,
-            pred=Predicate(self.pred.reg, self.pred.sense) if self.pred else None,
-            origin=self.origin,
-        )
+        # Bypasses __init__: this runs once per duplicated instruction of
+        # every *attempted* merge, so slot stores beat keyword dispatch.
+        new = Instruction.__new__(Instruction)
+        new.op = self.op
+        new.dest = self.dest
+        new.srcs = self.srcs
+        new.imm = self.imm
+        new.target = self.target
+        new.callee = self.callee
+        pred = self.pred
+        new.pred = Predicate(pred.reg, pred.sense) if pred is not None else None
+        new.uid = next(_uid_counter)
+        new.origin = self.origin
+        new.lsid = None
+        return new
 
     # -- display ----------------------------------------------------------
 

@@ -17,6 +17,13 @@ from dataclasses import dataclass
 class Opcode(enum.Enum):
     """All operations understood by the IR, interpreter and timing model."""
 
+    # Opcodes key the optimizer's value-numbering tables and the OP_INFO /
+    # semantics dispatch dicts, so their hash is on the hottest path of
+    # convergent formation.  Members are singletons and compare by
+    # identity, so the C-level identity hash is equivalent to (and much
+    # cheaper than) ``Enum.__hash__``'s Python-level hash-of-name.
+    __hash__ = object.__hash__
+
     # Integer arithmetic / logic.
     ADD = "add"
     SUB = "sub"

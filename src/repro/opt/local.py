@@ -24,8 +24,14 @@ from typing import Optional
 
 from repro.ir.block import BasicBlock
 from repro.ir.instruction import Instruction, Predicate
-from repro.ir.opcodes import COMMUTATIVE_OPS, Opcode
+from repro.ir.opcodes import COMMUTATIVE_OPS, PURE_OPS, Opcode
 from repro.ir.semantics import EVAL_BINOP as _BINOPS
+
+# Opcode sets inlined into the pass loops below: these run once per
+# *attempted* merge during formation, and the per-instruction `is_pure`
+# property call was a measurable fraction of formation wall time.
+_VALUE_OPS = PURE_OPS | {Opcode.LOAD}
+_DCE_REMOVABLE_OPS = PURE_OPS | {Opcode.NULLW, Opcode.FANOUT}
 
 
 def optimize_block(
@@ -45,6 +51,10 @@ def optimize_block(
         changed_any |= changed
         if not changed:
             break
+    if changed_any:
+        # The passes mutate instructions and reassign ``instrs`` directly;
+        # re-stamp once here so version-keyed analysis caches notice.
+        block.touch()
     return changed_any
 
 
@@ -54,64 +64,108 @@ def optimize_block(
 
 
 def propagate_and_fold(block: BasicBlock) -> bool:
-    """Forward-propagate unpredicated copies/constants; fold constants."""
-    changed = False
-    copies: dict[int, int] = {}  # reg -> equivalent earlier reg
-    consts: dict[int, object] = {}  # reg -> constant value
+    """Forward-propagate unpredicated copies/constants; fold constants.
 
-    def invalidate(reg: int) -> None:
-        copies.pop(reg, None)
-        consts.pop(reg, None)
-        for key in [k for k, v in copies.items() if v == reg]:
-            del copies[key]
+    This runs once per optimizer round of every *attempted* merge, so the
+    loop body is written for speed: the copy map is generation-stamped — a
+    register write is one counter bump, and an entry whose recorded source
+    generation went stale is dropped lazily at its next lookup instead of
+    scanning the map on every write — and the per-instruction fast path
+    (no copy facts apply, no constant facts apply) touches each dict once.
+    """
+    changed = False
+    # reg -> (equivalent earlier reg, that reg's generation when recorded)
+    copies: dict[int, tuple[int, int]] = {}
+    consts: dict[int, object] = {}  # reg -> constant value
+    gen: dict[int, int] = {}  # reg -> redefinition count so far
+    gen_get = gen.get
+    get_binop = _BINOPS.get
+    MOVI = Opcode.MOVI
+    MOV = Opcode.MOV
+    NOT = Opcode.NOT
+    NEG = Opcode.NEG
 
     for instr in block.instrs:
-        # Rewrite sources through the copy map.
-        if instr.srcs:
-            new_srcs = tuple(copies.get(s, s) for s in instr.srcs)
-            if new_srcs != instr.srcs:
-                instr.srcs = new_srcs
-                changed = True
-        if instr.pred is not None and instr.pred.reg in copies:
-            instr.pred = Predicate(copies[instr.pred.reg], instr.pred.sense)
-            changed = True
+        srcs = instr.srcs
+        if copies:
+            # Rewrite sources through the copy map.
+            hit = False
+            for s in srcs:
+                if s in copies:
+                    hit = True
+                    break
+            if hit:
+                new_srcs = []
+                dirty = False
+                for s in srcs:
+                    entry = copies.get(s)
+                    if entry is not None:
+                        src, src_gen = entry
+                        if gen_get(src, 0) == src_gen:
+                            new_srcs.append(src)
+                            dirty = True
+                            continue
+                        del copies[s]
+                    new_srcs.append(s)
+                if dirty:
+                    srcs = tuple(new_srcs)
+                    instr.srcs = srcs
+                    changed = True
+            pred = instr.pred
+            if pred is not None and pred.reg in copies:
+                src, src_gen = copies[pred.reg]
+                if gen_get(src, 0) == src_gen:
+                    instr.pred = Predicate(src, pred.sense)
+                    changed = True
+                else:
+                    del copies[pred.reg]
 
         # Constant-fold pure operations with all-constant inputs.
-        folder = _BINOPS.get(instr.op)
-        if (
-            folder is not None
-            and len(instr.srcs) == 2
-            and instr.srcs[0] in consts
-            and instr.srcs[1] in consts
-        ):
-            try:
-                value = folder(consts[instr.srcs[0]], consts[instr.srcs[1]])
-            except Exception:
-                value = None
-            if value is not None:
-                instr.op = Opcode.MOVI
+        if consts and srcs:
+            op = instr.op
+            if len(srcs) == 2:
+                folder = get_binop(op)
+                if (
+                    folder is not None
+                    and srcs[0] in consts
+                    and srcs[1] in consts
+                ):
+                    try:
+                        value = folder(consts[srcs[0]], consts[srcs[1]])
+                    except Exception:
+                        value = None
+                    if value is not None:
+                        instr.op = MOVI
+                        instr.srcs = ()
+                        instr.imm = value
+                        changed = True
+            elif op is NOT and srcs[0] in consts:
+                instr.op = MOVI
+                instr.imm = 0 if consts[srcs[0]] else 1
                 instr.srcs = ()
-                instr.imm = value
                 changed = True
-        elif instr.op is Opcode.NOT and instr.srcs[0] in consts:
-            instr.op = Opcode.MOVI
-            instr.imm = 0 if consts[instr.srcs[0]] else 1
-            instr.srcs = ()
-            changed = True
-        elif instr.op is Opcode.NEG and instr.srcs[0] in consts:
-            instr.op = Opcode.MOVI
-            instr.imm = -consts[instr.srcs[0]]
-            instr.srcs = ()
-            changed = True
+            elif op is NEG and srcs[0] in consts:
+                instr.op = MOVI
+                instr.imm = -consts[srcs[0]]
+                instr.srcs = ()
+                changed = True
 
         # Record new facts (only unpredicated defs produce reliable facts).
-        if instr.dest is not None:
-            invalidate(instr.dest)
+        dest = instr.dest
+        if dest is not None:
+            if copies:
+                copies.pop(dest, None)
+            if consts:
+                consts.pop(dest, None)
+            gen[dest] = gen_get(dest, 0) + 1
             if instr.pred is None:
-                if instr.op is Opcode.MOVI:
-                    consts[instr.dest] = instr.imm
-                elif instr.op is Opcode.MOV and instr.srcs[0] != instr.dest:
-                    copies[instr.dest] = instr.srcs[0]
+                op = instr.op
+                if op is MOVI:
+                    consts[dest] = instr.imm
+                elif op is MOV:
+                    src = instr.srcs[0]
+                    if src != dest:
+                        copies[dest] = (src, gen_get(src, 0))
     return changed
 
 
@@ -146,84 +200,120 @@ def _reads_between(block: BasicBlock, lo: int, hi: int, reg: int) -> bool:
 
 
 def value_number(block: BasicBlock) -> bool:
-    """Remove redundant computations; merge complementary-path duplicates."""
+    """Remove redundant computations; merge complementary-path duplicates.
+
+    The availability table is generation-stamped: redefining a register is a
+    single counter bump, and an entry records the generations of every
+    register it depends on (sources, the provider's destination, and the
+    provider's predicate register, if any).  A lookup whose recorded
+    generations no longer match is stale and is dropped then, instead of the
+    previous scheme of scanning the whole table on every register write —
+    which was the single hottest leaf of convergent formation.
+    """
     changed = False
-    table: dict = {}  # key -> (index of providing instr)
+    # key -> (provider index, clock at insertion, dependence regs).  An
+    # entry is stale iff any dependence register was redefined after the
+    # insertion, i.e. iff some gen[reg] exceeds the recorded clock.
+    table: dict = {}
+    gen: dict[int, int] = {}  # reg -> clock of its latest redefinition
+    clock = 0
     mem_epoch = 0
     instrs = block.instrs
     remove: set[int] = set()
-
-    def invalidate_reg(reg: int) -> None:
-        stale = []
-        for key, idx in table.items():
-            provider = instrs[idx]
-            if (
-                reg in key[1]
-                or provider.dest == reg
-                or (provider.pred is not None and provider.pred.reg == reg)
-            ):
-                stale.append(key)
-        for key in stale:
-            del table[key]
+    gen_get = gen.get
+    table_get = table.get
+    value_ops = _VALUE_OPS
+    commutative = COMMUTATIVE_OPS
+    LOAD = Opcode.LOAD
+    STORE = Opcode.STORE
+    MOV = Opcode.MOV
 
     for i, instr in enumerate(instrs):
         if i in remove:
             continue
-        if instr.op is Opcode.STORE:
+        op = instr.op
+        dest = instr.dest
+        if op is STORE:
             mem_epoch += 1
-        eligible = (
-            instr.is_pure or instr.op is Opcode.LOAD
-        ) and instr.dest is not None
-        if not eligible:
-            if instr.dest is not None:
-                invalidate_reg(instr.dest)
+        if dest is None or op not in value_ops:
+            if dest is not None:
+                clock += 1
+                gen[dest] = clock
             continue
-        key = _vn_key(instr, mem_epoch)
-        if instr.dest in key[1]:
+        srcs = instr.srcs
+        if len(srcs) == 2 and srcs[0] > srcs[1] and op in commutative:
+            srcs = (srcs[1], srcs[0])
+        if op is LOAD:
+            key = (op, srcs, instr.imm, mem_epoch)
+        else:
+            key = (op, srcs, instr.imm)
+        if dest in srcs:
             # Self-referential (dest is also a source): the table entry
             # would describe the *old* value of the source, which this
             # instruction just overwrote — never record or match it.
-            invalidate_reg(instr.dest)
+            clock += 1
+            gen[dest] = clock
             continue
-        prev_idx = table.get(key)
+        entry = table_get(key)
+        prev_idx = None
+        if entry is not None:
+            prev_idx, ins_clock, deps = entry
+            for reg in deps:
+                if gen_get(reg, 0) > ins_clock:
+                    del table[key]
+                    prev_idx = None
+                    break
+        pred = instr.pred
         if prev_idx is None:
-            invalidate_reg(instr.dest)
-            table[key] = i
+            clock += 1
+            gen[dest] = clock
+            deps = srcs + (dest,) if pred is None else srcs + (dest, pred.reg)
+            table[key] = (i, clock, deps)
             continue
         prev = instrs[prev_idx]
+        prev_pred = prev.pred
         merged = False
-        if prev.pred is None or (
-            prev.pred is not None
-            and instr.pred is not None
-            and prev.pred == instr.pred
-        ):
+        if prev_pred is None or (pred is not None and prev_pred == pred):
             # The value is available whenever instr would execute.
-            if prev.dest == instr.dest:
-                if not _reads_between(block, prev_idx, i, instr.dest):
+            if prev.dest == dest:
+                if not _reads_between(block, prev_idx, i, dest):
                     remove.add(i)
                     merged = True
             else:
-                invalidate_reg(instr.dest)
-                instr.op = Opcode.MOV
+                clock += 1
+                gen[dest] = clock
+                instr.op = MOV
                 instr.srcs = (prev.dest,)
                 instr.imm = None
                 merged = True
         if (
             not merged
-            and _complementary(prev.pred, instr.pred)
-            and prev.dest == instr.dest
-            and not _reads_between(block, prev_idx, i, instr.dest)
+            and prev_pred is not None
+            and pred is not None
+            and prev_pred.reg == pred.reg
+            and prev_pred.sense != pred.sense
+            and prev.dest == dest
+            and not _reads_between(block, prev_idx, i, dest)
         ):
             # Instruction merging: the same computation on both sides of a
-            # predicate collapses to one unconditional instruction.
+            # predicate collapses to one unconditional instruction.  The
+            # provider no longer depends on its predicate register, so its
+            # entry is re-stamped without it — otherwise a later
+            # redefinition of the (now irrelevant) predicate register would
+            # evict it.  No dependence register was redefined since the
+            # original insertion (the lookup above just validated that), so
+            # stamping with the current clock is exact.
             prev.pred = None
+            table[key] = (prev_idx, clock, srcs + (dest,))
             remove.add(i)
             merged = True
         if merged:
             changed = True
         else:
-            invalidate_reg(instr.dest)
-            table[key] = i
+            clock += 1
+            gen[dest] = clock
+            deps = srcs + (dest,) if pred is None else srcs + (dest, pred.reg)
+            table[key] = (i, clock, deps)
 
     if remove:
         block.instrs = [ins for j, ins in enumerate(instrs) if j not in remove]
@@ -247,9 +337,13 @@ def fold_moves(block: BasicBlock, live_out: set[int]) -> bool:
     """
     instrs = block.instrs
     use_counts: dict[int, int] = {}
+    counts_get = use_counts.get
     for instr in instrs:
-        for reg in instr.uses():
-            use_counts[reg] = use_counts.get(reg, 0) + 1
+        for reg in instr.srcs:
+            use_counts[reg] = counts_get(reg, 0) + 1
+        pred = instr.pred
+        if pred is not None:
+            use_counts[pred.reg] = counts_get(pred.reg, 0) + 1
 
     changed = False
     remove: set[int] = set()
@@ -278,7 +372,7 @@ def fold_moves(block: BasicBlock, live_out: set[int]) -> bool:
                 # need no checks).
                 ok = (
                     producer.pred is None
-                    and (producer.is_pure or producer.op is Opcode.LOAD)
+                    and producer.op in _VALUE_OPS
                     and producer.dest == t
                 )
                 if ok:
@@ -327,24 +421,31 @@ def _implication_edges(
     into the same register).
     """
     def_counts: dict[int, int] = {}
+    counts_get = def_counts.get
+    combinators: list[Instruction] = []
+    AND, NOT, MOV = Opcode.AND, Opcode.NOT, Opcode.MOV
     for instr in block.instrs:
-        if instr.dest is not None:
-            def_counts[instr.dest] = def_counts.get(instr.dest, 0) + 1
-    edges: dict[tuple[int, bool], set[tuple[int, bool]]] = {}
-    for instr in block.instrs:
-        if instr.dest is None or def_counts.get(instr.dest, 0) != 1:
-            continue
-        if instr.pred is not None:
-            continue
         d = instr.dest
-        if instr.op is Opcode.AND:
+        if d is not None:
+            def_counts[d] = counts_get(d, 0) + 1
+            if instr.pred is None:
+                op = instr.op
+                if op is AND or op is NOT or op is MOV:
+                    combinators.append(instr)
+    edges: dict[tuple[int, bool], set[tuple[int, bool]]] = {}
+    for instr in combinators:
+        d = instr.dest
+        if def_counts.get(d, 0) != 1:
+            continue
+        op = instr.op
+        if op is AND:
             a, b = instr.srcs
             edges.setdefault((d, True), set()).update({(a, True), (b, True)})
-        elif instr.op is Opcode.NOT:
+        elif op is NOT:
             (a,) = instr.srcs
             edges.setdefault((d, True), set()).add((a, False))
             edges.setdefault((d, False), set()).add((a, True))
-        elif instr.op is Opcode.MOV:
+        else:
             (a,) = instr.srcs
             edges.setdefault((d, True), set()).add((a, True))
             edges.setdefault((d, False), set()).add((a, False))
@@ -388,27 +489,39 @@ def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
     whose value is consumed exclusively under (predicates implying) the
     same guard are implicitly predicated, as in dataflow predication [25].
     """
-    changed = False
-    edges, def_counts = _implication_edges(block)
     instrs = block.instrs
-    for i, instr in enumerate(instrs):
-        if instr.pred is None or instr.dest is None:
-            continue
-        if not (instr.is_pure or instr.op is Opcode.LOAD):
-            continue
-        if instr.dest in live_out:
-            continue
+    value_ops = _VALUE_OPS
+    candidates = [
+        i
+        for i, instr in enumerate(instrs)
+        if instr.pred is not None
+        and instr.dest is not None
+        and instr.op in value_ops
+        and instr.dest not in live_out
+    ]
+    if not candidates:
+        return False
+    edges, _ = _implication_edges(block)
+    changed = False
+    n = len(instrs)
+    for i in candidates:
+        instr = instrs[i]
         p = instr.pred
+        if p is None:  # cleared by an earlier iteration
+            continue
+        d = instr.dest
         ok = True
         has_reader = False
         # A predicate atom names a stable dynamic value only while its
         # register is not redefined between this instruction and the reader
         # (unrolled iterations recompute loop tests into the same register).
         redefined: set[int] = set()
-        for later in instrs[i + 1 :]:
-            if instr.dest in later.uses():
+        for k in range(i + 1, n):
+            later = instrs[k]
+            later_pred = later.pred
+            if d in later.srcs or (later_pred is not None and later_pred.reg == d):
                 has_reader = True
-                q = later.pred
+                q = later_pred
                 if (
                     q is None
                     or p.reg in redefined
@@ -417,10 +530,11 @@ def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
                 ):
                     ok = False
                     break
-            if later.dest is not None:
-                if later.dest == instr.dest and later.pred is None:
+            later_dest = later.dest
+            if later_dest is not None:
+                if later_dest == d and later_pred is None:
                     break
-                redefined.add(later.dest)
+                redefined.add(later_dest)
         if ok and has_reader:
             instr.pred = None
             changed = True
@@ -436,20 +550,22 @@ def eliminate_dead_code(block: BasicBlock, live_out: set[int]) -> bool:
     """Remove pure instructions whose results are never observed."""
     live = set(live_out)
     keep: list[Instruction] = []
+    keep_append = keep.append
+    live_add = live.add
+    removable_ops = _DCE_REMOVABLE_OPS
     changed = False
     for instr in reversed(block.instrs):
-        removable = (
-            (instr.is_pure or instr.op in (Opcode.NULLW, Opcode.FANOUT))
-            and instr.dest is not None
-            and instr.dest not in live
-        )
-        if removable:
+        dest = instr.dest
+        if dest is not None and dest not in live and instr.op in removable_ops:
             changed = True
             continue
-        if instr.dest is not None and instr.pred is None:
-            live.discard(instr.dest)
-        live.update(instr.uses())
-        keep.append(instr)
+        pred = instr.pred
+        if dest is not None and pred is None:
+            live.discard(dest)
+        live.update(instr.srcs)
+        if pred is not None:
+            live_add(pred.reg)
+        keep_append(instr)
     if changed:
         keep.reverse()
         block.instrs = keep

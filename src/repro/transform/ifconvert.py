@@ -172,17 +172,20 @@ def _capture_guard(
     """
     if len(branches) == 1 and branches[0].pred is None:
         hb.instrs.remove(branches[0])
+        hb.touch()
         return None
     if _complementary_pair(branches) and len(hb.branches()) == 2:
         # The two branches partition the block: together they always fire.
         branch_ids = {id(b) for b in branches}
         hb.instrs = [i for i in hb.instrs if id(i) not in branch_ids]
+        hb.touch()
         return None
 
     atoms = _simplified_pair_guard(func, hb, branches)
     if atoms is not None:
         branch_ids = {id(b) for b in branches}
         hb.instrs = [i for i in hb.instrs if id(i) not in branch_ids]
+        hb.touch()
         if not atoms:
             return None
         if len(atoms) == 1:
@@ -213,6 +216,7 @@ def _capture_guard(
         else:
             new_instrs.append(instr)
     hb.instrs = new_instrs
+    hb.touch()
 
     acc = snapshot_regs[0]
     for reg in snapshot_regs[1:]:
@@ -252,6 +256,7 @@ def inline_block(
         hb.append(instr)
         pb.note_append(instr)
     body.instrs = []
+    body.touch()
     return guard
 
 

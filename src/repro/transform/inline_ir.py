@@ -103,6 +103,7 @@ def inline_call(
                 Instruction(Opcode.MOVI, dest=call.dest, imm=0, pred=guard)
             )
     block.instrs[call_index : call_index + 1] = spliced
+    block.touch()
     return True
 
 

@@ -1,0 +1,110 @@
+"""Incremental liveness (`Liveness.refresh`) vs full re-solve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.liveness import Liveness, _tarjan_sccs
+from repro.core.convergent import expand_block
+from repro.core.merge import FormationContext
+from repro.core.policies import BreadthFirstPolicy
+from repro.ir import FunctionBuilder
+from repro.ir.instruction import Instruction
+from repro.ir.opcodes import Opcode
+from repro.workloads.generators import random_program
+from tests.conftest import make_counting_loop, make_diamond, make_while_loop
+
+
+def _assert_same_solution(incremental: Liveness, func):
+    fresh = Liveness(func, cfg=func.cfg())
+    assert incremental.live_in == fresh.live_in
+    assert incremental.live_out == fresh.live_out
+
+
+def test_refresh_after_block_edit_matches_full_solve():
+    func = make_counting_loop()
+    cfg = func.cfg()
+    live = Liveness(func, cfg=cfg)
+    # Read a parameter register inside the loop body (before the branch).
+    body = func.blocks["body"]
+    extra = Instruction(Opcode.ADD, dest=func.new_reg(), srcs=(0, 1))
+    body.instrs.insert(0, extra)
+    body.touch()
+    live.refresh(cfg, None, changed=("body",))
+    _assert_same_solution(live, func)
+
+
+def test_refresh_propagates_to_predecessor_components():
+    # entry -> A -> B -> C: a new use in C must flow all the way up.
+    fb = FunctionBuilder("chain")
+    fb.block("entry", entry=True)
+    v = fb.movi(7)
+    fb.br("A")
+    fb.block("A")
+    fb.br("B")
+    fb.block("B")
+    fb.br("C")
+    fb.block("C")
+    fb.ret(fb.movi(0))
+    func = fb.finish()
+    cfg = func.cfg()
+    live = Liveness(func, cfg=cfg)
+    assert v not in live.live_out["entry"]
+    block = func.blocks["C"]
+    block.instrs.insert(0, Instruction(Opcode.NEG, dest=func.new_reg(), srcs=(v,)))
+    block.touch()
+    live.refresh(cfg, None, changed=("C",))
+    assert v in live.live_out["entry"]
+    assert v in live.live_in["A"]
+    _assert_same_solution(live, func)
+
+
+def test_refresh_skips_unaffected_components():
+    func = make_diamond()
+    cfg = func.cfg()
+    live = Liveness(func, cfg=cfg)
+    block = func.blocks["D"]
+    block.touch()
+    live.refresh(cfg, None, changed=("D",))
+    solved, skipped = live.last_solve_stats
+    assert solved >= 1
+    # Components strictly downstream of nothing dirty keep their solution.
+    assert solved + skipped == len(_tarjan_sccs(list(func.blocks), cfg.succs))
+    _assert_same_solution(live, func)
+
+
+@pytest.mark.parametrize(
+    "make", [make_diamond, make_counting_loop, make_while_loop]
+)
+def test_formation_keeps_liveness_exact(make):
+    """After every fast-path merge the patched liveness equals a fresh
+    solve of the evolving function."""
+    func = make()
+    ctx = FormationContext(func)
+    policy = BreadthFirstPolicy()
+    assert ctx.liveness is not None  # materialize before merging
+    for seed in list(func.blocks):
+        if seed in func.blocks:
+            expand_block(ctx, policy, seed)
+            if ctx._liveness is not None:
+                _assert_same_solution(ctx._liveness, func)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_formation_keeps_liveness_exact_random(seed):
+    func = random_program(seed).function("main")
+    ctx = FormationContext(func)
+    policy = BreadthFirstPolicy()
+    assert ctx.liveness is not None
+    for block_name in list(func.blocks):
+        if block_name in func.blocks:
+            expand_block(ctx, policy, block_name)
+    if ctx._liveness is not None:
+        _assert_same_solution(ctx._liveness, func)
+
+
+def test_tarjan_emits_successors_first():
+    succs = {"a": ["b"], "b": ["c", "b"], "c": []}
+    comps = _tarjan_sccs(["a", "b", "c"], succs)
+    order = {tuple(sorted(c)): i for i, c in enumerate(comps)}
+    assert order[("c",)] < order[("b",)] < order[("a",)]

@@ -10,6 +10,7 @@ from repro.core.merge import (
     legal_merge,
     merge_blocks,
 )
+from repro.analysis.loops import LoopForest
 from repro.core.constraints import TripsConstraints
 from repro.ir import FunctionBuilder, build_module
 from repro.profiles import collect_profile
@@ -161,11 +162,29 @@ def test_stats_mtup_and_add():
 
 def test_context_caches_invalidate():
     func = make_counting_loop()
-    ctx = ctx_for(func)
+    ctx = ctx_for(func, fast_path=False)
     loops_before = ctx.loops
     assert ctx.loops is loops_before  # cached
     merge_blocks(ctx, "head", "body")
     assert ctx.loops is not loops_before  # invalidated by the merge
+
+
+def test_context_caches_updated_in_place_on_fast_path():
+    func = make_counting_loop()
+    ctx = ctx_for(func)
+    loops_before = ctx.loops
+    cfg_before = ctx.cfg
+    assert merge_blocks(ctx, "head", "body") is not None
+    # The SIMPLE merge renames `body` to `head` inside the surviving forest
+    # and patches the CFG view instead of forcing rebuilds.
+    assert ctx.loops is loops_before
+    assert ctx.cfg is cfg_before
+    assert "body" not in ctx.cfg.succs
+    fresh = func.cfg()
+    assert {n: sorted(s) for n, s in ctx.cfg.succs.items()} == {
+        n: sorted(s) for n, s in fresh.succs.items()
+    }
+    assert ctx.loops.loops.keys() == LoopForest(func).loops.keys()
 
 
 def test_live_out_of_uses_successor_live_in():

@@ -1,0 +1,71 @@
+"""The parallel formation drivers match sequential formation exactly."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.core.convergent import form_module
+from repro.harness.parallel import form_many_parallel, form_module_parallel
+from repro.ir.function import Module
+from repro.ir.printer import format_function, format_module
+from repro.profiles import collect_profile
+from repro.workloads.generators import random_inputs, random_program
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+
+def _combo_module() -> Module:
+    """A multi-function module assembled from random single-function ones."""
+    module = Module("combo")
+    for i, seed in enumerate((3, 5, 8, 13)):
+        func = random_program(seed).function("main")
+        func.name = f"f{i}"
+        module.add_function(func)
+    return module
+
+
+def test_form_module_parallel_matches_sequential():
+    seq = _combo_module()
+    par = _combo_module()
+    seq_stats = form_module(seq)
+    par_stats = form_module_parallel(par, max_workers=2)
+    assert par_stats.mtup == seq_stats.mtup
+    assert par_stats.attempts == seq_stats.attempts
+    assert format_module(par) == format_module(seq)
+
+
+def test_form_module_parallel_falls_back_sequential():
+    seq = random_program(4)
+    par = random_program(4)
+    seq_stats = form_module(seq)
+    par_stats = form_module_parallel(par)  # single function: no pool
+    assert par_stats.mtup == seq_stats.mtup
+    assert format_module(par) == format_module(seq)
+
+
+def test_form_many_parallel_matches_sequential():
+    names = ["ammp", "bzip2", "mcf"]
+    items, seq_results = [], []
+    for name in names:
+        workload = SPEC_BENCHMARKS[name]
+        profile = collect_profile(
+            workload.module(), args=workload.args, preload=workload.preload
+        )
+        items.append((workload.module(), profile))
+        seq = workload.module()
+        seq_results.append((seq, form_module(seq, profile=profile)))
+    par_results = form_many_parallel(items, max_workers=2)
+    assert len(par_results) == len(seq_results)
+    for (seq_mod, seq_stats), (par_mod, par_stats) in zip(
+        seq_results, par_results
+    ):
+        assert par_stats.mtup == seq_stats.mtup
+        assert format_module(par_mod) == format_module(seq_mod)
+
+
+def test_function_pickle_restamps_versions():
+    func = random_program(2).function("main")
+    clone = pickle.loads(pickle.dumps(func))
+    assert format_function(clone) == format_function(func)
+    for name, block in clone.blocks.items():
+        # A shipped-back block must never alias a live local stamp.
+        assert block.version != func.blocks[name].version
