@@ -61,6 +61,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="skip the process-pool configuration",
     )
     parser.add_argument(
+        "--scale", action="store_true",
+        help="also time the synthetic scaling tiers (with --quick only "
+        "the smallest tier)",
+    )
+    parser.add_argument(
         "--ceiling", type=float, default=None,
         help="fail if sequential fast time exceeds this many seconds",
     )
@@ -77,6 +82,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         workers=args.workers,
         repeat=args.repeat,
         parallel=not args.no_parallel,
+        scale=args.scale,
     )
     if args.out:
         write_json(result, args.out)

@@ -13,29 +13,35 @@ structure is what makes :meth:`Liveness.refresh` possible: after a merge
 changes one block, only the components upstream of the change — those a
 changed live-in set actually propagates into — are re-solved; everything
 else keeps its previous (still least-fixpoint) solution.
+
+Dataflow facts are register *bitmasks* (bit ``r`` = register ``r``, see
+:mod:`repro.ir.regmask`): the transfer function and the confluence are
+single arbitrary-precision integer operations instead of per-element set
+algebra, which is what makes the solver's cost scale with function size
+divided by the word width rather than with live-set cardinality.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.analysis.predimpl import exposed_uses
+from repro.analysis.predimpl import exposed_mask
 from repro.ir.function import CFG, Function
 
 
-def block_use_kill(block) -> tuple[set[int], set[int]]:
-    """(upward-exposed uses, unconditional kills) for one block.
+def block_use_kill(block) -> tuple[int, int]:
+    """(upward-exposed use mask, unconditional kill mask) for one block.
 
     Upward-exposed uses are predicate-implication aware: a read guarded by
     the same (or a stronger) predicate than an earlier write in the block
     is not exposed.  Without this every predicated temporary of a
     hyperblock would look live across the CFG.
     """
-    use = exposed_uses(block)
-    kill: set[int] = set()
+    use = exposed_mask(block)
+    kill = 0
     for instr in block:
         if instr.dest is not None and instr.pred is None:
-            kill.add(instr.dest)
+            kill |= 1 << instr.dest
     return use, kill
 
 
@@ -99,9 +105,11 @@ def _tarjan_sccs(nodes: list[str], succs: dict[str, list[str]]) -> list[list[str
 
 
 class Liveness:
-    """Per-block live-in/live-out register sets for one function.
+    """Per-block live-in/live-out register masks for one function.
 
-    ``use_kill`` may supply precomputed per-block (use, kill) sets —
+    ``live_in``/``live_out`` map block name to an int bitmask (bit ``r`` =
+    register ``r``); use :func:`repro.ir.regmask.regs_of` for a set view.
+    ``use_kill`` may supply precomputed per-block (use, kill) masks —
     hyperblock formation caches them (keyed by block version) because only
     the merged block changes between its frequent liveness updates.
     """
@@ -110,21 +118,21 @@ class Liveness:
         self,
         func: Function,
         cfg: Optional[CFG] = None,
-        use_kill: Optional[dict[str, tuple[set[int], set[int]]]] = None,
+        use_kill: Optional[dict[str, tuple[int, int]]] = None,
     ):
         self.func = func
         self.cfg = cfg or func.cfg()
-        self.live_in: dict[str, set[int]] = {}
-        self.live_out: dict[str, set[int]] = {}
-        self._use: dict[str, set[int]] = {}
-        self._kill: dict[str, set[int]] = {}
+        self.live_in: dict[str, int] = {}
+        self.live_out: dict[str, int] = {}
+        self._use: dict[str, int] = {}
+        self._kill: dict[str, int] = {}
         self._provided = use_kill
         #: (components re-solved, components skipped) over the last solve
         #: or refresh — consumed by the formation perf counters.
         self.last_solve_stats: tuple[int, int] = (0, 0)
         self._solve()
 
-    def _block_use_kill(self, name: str) -> tuple[set[int], set[int]]:
+    def _block_use_kill(self, name: str) -> tuple[int, int]:
         if self._provided is not None and name in self._provided:
             return self._provided[name]
         return block_use_kill(self.func.blocks[name])
@@ -138,28 +146,28 @@ class Liveness:
         use = self._use
         kill = self._kill
         succs = self.cfg.succs
+        live_in_get = live_in.get
         if len(comp) == 1:
             name = comp[0]
             if name not in succs.get(name, ()):  # no self loop: one pass
-                out: set[int] = set()
+                out = 0
                 for succ in succs.get(name, ()):
                     if succ != name:
-                        out |= live_in.get(succ, set())
+                        out |= live_in_get(succ, 0)
                 live_out[name] = out
-                live_in[name] = use[name] | (out - kill[name])
+                live_in[name] = use[name] | (out & ~kill[name])
                 return
-        members = set(comp)
         for name in comp:
-            live_in[name] = set(use[name])
-            live_out[name] = set()
+            live_in[name] = use[name]
+            live_out[name] = 0
         changed = True
         while changed:
             changed = False
             for name in comp:
-                out = set()
+                out = 0
                 for succ in succs.get(name, ()):
-                    out |= live_in.get(succ, set())
-                new_in = use[name] | (out - kill[name])
+                    out |= live_in_get(succ, 0)
+                new_in = use[name] | (out & ~kill[name])
                 if out != live_out[name] or new_in != live_in[name]:
                     live_out[name] = out
                     live_in[name] = new_in
@@ -177,7 +185,7 @@ class Liveness:
     def refresh(
         self,
         cfg: CFG,
-        use_kill: Optional[dict[str, tuple[set[int], set[int]]]],
+        use_kill: Optional[dict[str, tuple[int, int]]],
         changed: Iterable[str] = (),
         removed: Iterable[str] = (),
     ) -> None:
@@ -216,6 +224,6 @@ class Liveness:
                     dirty.update(preds.get(name, ()))
         self.last_solve_stats = (solved, skipped)
 
-    def live_through(self, name: str) -> set[int]:
-        """Registers live across the block without being used in it."""
-        return self.live_out[name] - self._use[name] - self._kill[name]
+    def live_through(self, name: str) -> int:
+        """Mask of registers live across the block without being used in it."""
+        return self.live_out[name] & ~self._use[name] & ~self._kill[name]

@@ -165,16 +165,18 @@ class _VersionedImplication:
         return False
 
 
-#: Memo for :func:`exposed_uses`, keyed by ``BasicBlock.version``.  Version
+#: Memo for :func:`exposed_mask`, keyed by ``BasicBlock.version``.  Version
 #: stamps are process-unique and never reused (see ``repro.ir.block``), so a
 #: version alone identifies the exact instruction sequence it was computed
 #: from.  Cleared wholesale when it grows past ``_EXPOSED_CACHE_MAX``.
-_exposed_cache: dict[int, set[int]] = {}
+_exposed_cache: dict[int, int] = {}
+#: Materialized ``set[int]`` views for :func:`exposed_uses` (cold paths).
+_exposed_set_cache: dict[int, set[int]] = {}
 _EXPOSED_CACHE_MAX = 4096
 
 
-def exposed_uses(block: BasicBlock) -> set[int]:
-    """Upward-exposed register reads, predicate-implication aware.
+def exposed_mask(block: BasicBlock) -> int:
+    """Upward-exposed register reads as a bitmask (bit ``r`` = register ``r``).
 
     A read of ``r`` guarded by ``q`` is exposed unless an earlier write of
     ``r`` was unconditional or guarded by ``p`` with ``q ⇒ p`` under
@@ -182,8 +184,10 @@ def exposed_uses(block: BasicBlock) -> set[int]:
     unconditionally (to decide execution), so it counts as an unguarded
     use.
 
-    Results are memoized on the block's version stamp; callers must treat
-    the returned set as read-only.
+    Results are memoized on the block's version stamp.  This is the
+    primitive every hot analysis consumes (use/kill masks, the structural
+    estimator); :func:`exposed_uses` is the ``set[int]`` view for cold
+    callers.
     """
     version = block.version
     cached = _exposed_cache.get(version)
@@ -191,10 +195,8 @@ def exposed_uses(block: BasicBlock) -> set[int]:
         return cached
 
     instrs = block.instrs
-    exposed: set[int] = set()
-    killed: set[int] = set()
-    exposed_add = exposed.add
-    killed_add = killed.add
+    exposed = 0
+    killed = 0
 
     for instr in instrs:
         if instr.pred is not None:
@@ -203,10 +205,10 @@ def exposed_uses(block: BasicBlock) -> set[int]:
         # Entirely unpredicated: every write kills, no implication needed.
         for instr in instrs:
             for reg in instr.srcs:
-                if reg not in killed:
-                    exposed_add(reg)
+                if not killed >> reg & 1:
+                    exposed |= 1 << reg
             if instr.dest is not None:
-                killed_add(instr.dest)
+                killed |= 1 << instr.dest
         if len(_exposed_cache) >= _EXPOSED_CACHE_MAX:
             _exposed_cache.clear()
         _exposed_cache[version] = exposed
@@ -225,12 +227,13 @@ def exposed_uses(block: BasicBlock) -> set[int]:
     for instr in instrs:
         guard = instr.pred
         if guard is not None:
-            g = guard.reg
             # The predicate register is read unconditionally.
-            if g not in killed and g not in exposed:
-                exposed_add(g)
+            settled = killed | exposed
+            if not settled >> guard.reg & 1:
+                exposed |= 1 << guard.reg
+                settled = killed | exposed
             for reg in instr.srcs:
-                if reg in killed or reg in exposed:
+                if settled >> reg & 1:
                     continue
                 writes = cond_writes_get(reg)
                 if writes is not None:
@@ -238,20 +241,25 @@ def exposed_uses(block: BasicBlock) -> set[int]:
                         if covered(guard, write_pred, write_ver):
                             break
                     else:
-                        exposed_add(reg)
+                        exposed |= 1 << reg
+                        settled |= 1 << reg
                 else:
-                    exposed_add(reg)
+                    exposed |= 1 << reg
+                    settled |= 1 << reg
         else:
+            settled = killed | exposed
             for reg in instr.srcs:
-                if reg not in killed and reg not in exposed:
-                    exposed_add(reg)
+                if not settled >> reg & 1:
+                    bit = 1 << reg
+                    exposed |= bit
+                    settled |= bit
         dest = instr.dest
         if dest is not None:
             imp_version[dest] = imp_ver_get(dest, 0) + 1
             if guard is None:
                 # Record combinator facts after bumping the version: the
                 # edges constrain the *new* value of dest.
-                killed_add(dest)
+                killed |= 1 << dest
                 if cond_writes:
                     cond_writes.pop(dest, None)
                 if instr.op in _COMBINATORS:
@@ -264,3 +272,22 @@ def exposed_uses(block: BasicBlock) -> set[int]:
         _exposed_cache.clear()
     _exposed_cache[version] = exposed
     return exposed
+
+
+def exposed_uses(block: BasicBlock) -> set[int]:
+    """``set[int]`` view of :func:`exposed_mask` (cold paths and tests).
+
+    Memoized on the block version like the mask; callers must treat the
+    returned set as read-only.
+    """
+    from repro.ir.regmask import regs_of
+
+    version = block.version
+    cached = _exposed_set_cache.get(version)
+    if cached is not None:
+        return cached
+    view = regs_of(exposed_mask(block))
+    if len(_exposed_set_cache) >= _EXPOSED_CACHE_MAX:
+        _exposed_set_cache.clear()
+    _exposed_set_cache[version] = view
+    return view

@@ -23,6 +23,7 @@ from repro.analysis.liveness import Liveness
 from repro.analysis.predimpl import exposed_uses
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction
+from repro.ir.regmask import mask_of, regs_of
 from repro.ir.opcodes import Opcode
 
 #: base address of the (simulated) spill area in memory
@@ -66,9 +67,10 @@ class RegisterAllocator:
         needed the least-used values go to memory.
         """
         live = Liveness(self.func)
-        cross: set[int] = set(self.func.params)
+        cross_mask = mask_of(self.func.params)
         for name in self.func.blocks:
-            cross |= live.live_in[name]
+            cross_mask |= live.live_in[name]
+        cross = regs_of(cross_mask)
         counts: dict[int, int] = {reg: 0 for reg in cross}
         for instr in self.func.instructions():
             for reg in instr.uses():

@@ -20,13 +20,19 @@ estimator plays in the Scale/TRIPS compiler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Union
 
 from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode
+from repro.ir.regmask import as_mask, bits
 
 _LOAD = Opcode.LOAD
 _STORE = Opcode.STORE
 _MOVI = Opcode.MOVI
+
+#: Live-out accepted as a register bitmask (the hot path) or any iterable
+#: of register numbers (external callers, tests).
+LiveOut = Union[int, Iterable[int]]
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,10 @@ class BlockEstimate:
     fanout_instructions: int = 0
     null_writes: int = 0
     null_stores: int = 0
+    #: total register-read/-write outputs (exposed reads, live-out writes)
+    reg_reads: int = 0
+    reg_writes: int = 0
+    #: per-bank breakdowns, filled only under ``strict_banking``
     bank_reads: dict[int, int] = field(default_factory=dict)
     bank_writes: dict[int, int] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
@@ -97,22 +107,23 @@ class BlockEstimate:
 
 def estimate_block(
     block: BasicBlock,
-    live_out: set[int],
+    live_out: LiveOut,
     constraints: TripsConstraints,
 ) -> BlockEstimate:
     """Size ``block`` against the constraints.
 
-    ``live_out`` is the set of registers live on exit; it determines the
+    ``live_out`` — a register bitmask (or any iterable of register
+    numbers) — is the set of registers live on exit; it determines the
     block's register-write outputs and the null-write padding.
     """
+    live_out_mask = as_mask(live_out)
     est = BlockEstimate()
     est.real_instructions = len(block.instrs)
 
     consumers: dict[int, int] = {}
-    unconditional_writers: set[int] = set()
-    conditional_writers: set[int] = set()
-    #: constants are rematerialized by the backend rather than fanned out
-    remat: set[int] = set()
+    unconditional_writers = 0  # mask of unpredicated destinations
+    written = 0  # mask of all destinations
+    remat = 0  # constants: rematerialized by the backend, not fanned out
     predicated_stores = 0
 
     consumers_get = consumers.get
@@ -122,14 +133,14 @@ def estimate_block(
         dest = instr.dest
         pred = instr.pred
         if dest is not None:
+            bit = 1 << dest
             if op is _MOVI:
-                remat.add(dest)
+                remat |= bit
             else:
-                remat.discard(dest)
+                remat &= ~bit
+            written |= bit
             if pred is None:
-                unconditional_writers.add(dest)
-            else:
-                conditional_writers.add(dest)
+                unconditional_writers |= bit
         for reg in instr.srcs:
             consumers[reg] = consumers_get(reg, 0) + 1
         if pred is not None:
@@ -145,32 +156,29 @@ def estimate_block(
     # Fanout: each producer encodes `instruction_targets` consumers; extra
     # consumers need a tree of fanout movs, each contributing one net slot.
     width = constraints.instruction_targets
-    for reg, count in consumers.items():
-        if count > width and reg not in remat:
-            est.fanout_instructions += count - width
+    if remat:
+        for reg, count in consumers.items():
+            if count > width and not remat >> reg & 1:
+                est.fanout_instructions += count - width
+    else:
+        for count in consumers.values():
+            if count > width:
+                est.fanout_instructions += count - width
 
     # Output padding (fixed-output rule): live-out registers written only
     # under a predicate need a null write for the paths that skip them;
     # predicated stores need a matching null store.
-    written = unconditional_writers | conditional_writers
-    for reg in written & live_out:
-        if reg not in unconditional_writers:
-            est.null_writes += 1
+    live_writes = written & live_out_mask
+    est.null_writes = (live_writes & ~unconditional_writers).bit_count()
     est.null_stores = predicated_stores
 
     # Register banking: reads = upward-exposed registers (predicate-
     # implication aware), writes = live-out registers the block defines.
-    from repro.analysis.predimpl import exposed_uses
+    from repro.analysis.predimpl import exposed_mask
 
-    bank_of = constraints.bank_of
-    bank_reads = est.bank_reads
-    bank_writes = est.bank_writes
-    for reg in exposed_uses(block):
-        bank = bank_of(reg)
-        bank_reads[bank] = bank_reads.get(bank, 0) + 1
-    for reg in written & live_out:
-        bank = bank_of(reg)
-        bank_writes[bank] = bank_writes.get(bank, 0) + 1
+    reads_mask = exposed_mask(block)
+    est.reg_reads = reads_mask.bit_count()
+    est.reg_writes = live_writes.bit_count()
 
     # Violations.
     if est.total_instructions > constraints.max_instructions:
@@ -184,32 +192,39 @@ def estimate_block(
             f"memory ops {mem_total} > {constraints.max_memory_ops}"
         )
     if constraints.strict_banking:
-        for bank, count in est.bank_reads.items():
+        bank_of = constraints.bank_of
+        bank_reads = est.bank_reads
+        bank_writes = est.bank_writes
+        for reg in bits(reads_mask):
+            bank = bank_of(reg)
+            bank_reads[bank] = bank_reads.get(bank, 0) + 1
+        for reg in bits(live_writes):
+            bank = bank_of(reg)
+            bank_writes[bank] = bank_writes.get(bank, 0) + 1
+        for bank, count in bank_reads.items():
             if count > constraints.reads_per_bank:
                 est.violations.append(
                     f"bank {bank} reads {count} > {constraints.reads_per_bank}"
                 )
-        for bank, count in est.bank_writes.items():
+        for bank, count in bank_writes.items():
             if count > constraints.writes_per_bank:
                 est.violations.append(
                     f"bank {bank} writes {count} > {constraints.writes_per_bank}"
                 )
     else:
-        reads = sum(est.bank_reads.values())
-        writes = sum(est.bank_writes.values())
-        if reads > constraints.max_reads:
+        if est.reg_reads > constraints.max_reads:
             est.violations.append(
-                f"register reads {reads} > {constraints.max_reads}"
+                f"register reads {est.reg_reads} > {constraints.max_reads}"
             )
-        if writes > constraints.max_writes:
+        if est.reg_writes > constraints.max_writes:
             est.violations.append(
-                f"register writes {writes} > {constraints.max_writes}"
+                f"register writes {est.reg_writes} > {constraints.max_writes}"
             )
     return est
 
 
 def legal_block(
-    block: BasicBlock, live_out: set[int], constraints: TripsConstraints
+    block: BasicBlock, live_out: LiveOut, constraints: TripsConstraints
 ) -> bool:
     """The paper's ``LegalBlock`` check."""
     return estimate_block(block, live_out, constraints).legal

@@ -183,11 +183,14 @@ class FormationContext:
         self.cache_stats = FormationCacheStats()
         #: loop header name -> saved single-iteration body for unrolling
         self.saved_bodies: dict[str, BasicBlock] = {}
-        #: (hb, hb.version, s, s.version, body.version, live-out) -> number
-        #: of fresh registers the rejected trial minted (replayed on a hit
-        #: so register numbering matches an uncached run exactly).
+        #: (hb, hb.version, s, s.version, body.version, canonical live-out
+        #: mask) -> number of fresh registers the rejected trial minted
+        #: (replayed on a hit so register numbering matches an uncached run
+        #: exactly).  The live-out component is restricted to registers the
+        #: preview can define (see ``merge_blocks``), so trials re-offered
+        #: after unrelated liveness churn still collide.
         self._rejected_trials: dict[tuple, int] = {}
-        self._use_kill_cache: dict[str, tuple[int, tuple[set[int], set[int]]]] = {}
+        self._use_kill_cache: dict[str, tuple[int, tuple[int, int]]] = {}
         self._liveness: Optional[Liveness] = None
         self._loops: Optional[LoopForest] = None
         self._cfg = None
@@ -256,17 +259,17 @@ class FormationContext:
             )
         return self._liveness
 
-    def _use_kill_view(self) -> dict[str, tuple[set[int], set[int]]]:
-        """Per-block (use, kill) sets, cached across merges.
+    def _use_kill_view(self) -> dict[str, tuple[int, int]]:
+        """Per-block (use, kill) register masks, cached across merges.
 
         Keyed by the block's monotonic version stamp: every mutation path
         bumps it and a stamp is never reused, so — unlike the ``id(block)``
-        token this replaced — a recycled object can never serve stale sets.
+        token this replaced — a recycled object can never serve stale masks.
         """
         from repro.analysis.liveness import block_use_kill
 
-        view: dict[str, tuple[set[int], set[int]]] = {}
-        fresh: dict[str, tuple[int, tuple[set[int], set[int]]]] = {}
+        view: dict[str, tuple[int, int]] = {}
+        fresh: dict[str, tuple[int, tuple[int, int]]] = {}
         cache = self._use_kill_cache
         stats = self.cache_stats
         for name, block in self.func.blocks.items():
@@ -289,12 +292,12 @@ class FormationContext:
             self._loops = LoopForest(self.func, self.cfg)
         return self._loops
 
-    def live_out_of(self, block: BasicBlock) -> set[int]:
-        """Live-out of a (possibly scratch) block from its branch targets."""
-        live: set[int] = set()
+    def live_out_of(self, block: BasicBlock) -> int:
+        """Live-out mask of a (possibly scratch) block from its branch targets."""
+        live = 0
         live_in = self.liveness.live_in
         for succ in block.successors():
-            live |= live_in.get(succ, set())
+            live |= live_in.get(succ, 0)
         return live
 
 
@@ -399,22 +402,45 @@ def _trial_live_out(
     hb: BasicBlock,
     s_name: str,
     candidate_succs: list[str],
-) -> set[int]:
-    """Live-out the merged preview will have, computed *without* building it.
+) -> int:
+    """Live-out mask the merged preview will have, computed *without*
+    building it.
 
     The preview's successor set is exactly ``(hb.successors() - {s}) |
     body.successors()``: if-conversion drops the branches into the absorbed
     target and inherits the inlined body's branches (including any that
     re-enter ``s`` or the hyperblock itself).
     """
-    live: set[int] = set()
+    live = 0
     live_in = ctx.liveness.live_in
     for succ in hb.successors():
         if succ != s_name:
-            live |= live_in.get(succ, set())
+            live |= live_in.get(succ, 0)
     for succ in candidate_succs:
-        live |= live_in.get(succ, set())
+        live |= live_in.get(succ, 0)
     return live
+
+
+#: Memo for :func:`_def_mask`, keyed by ``BasicBlock.version`` (stamps are
+#: process-unique and never reused).  Cleared wholesale past the cap.
+_def_mask_cache: dict[int, int] = {}
+_DEF_MASK_CACHE_MAX = 4096
+
+
+def _def_mask(block: BasicBlock) -> int:
+    """Mask of every register the block writes (predicated or not)."""
+    version = block.version
+    cached = _def_mask_cache.get(version)
+    if cached is not None:
+        return cached
+    mask = 0
+    for instr in block.instrs:
+        if instr.dest is not None:
+            mask |= 1 << instr.dest
+    if len(_def_mask_cache) >= _DEF_MASK_CACHE_MAX:
+        _def_mask_cache.clear()
+    _def_mask_cache[version] = mask
+    return mask
 
 
 def merge_blocks(
@@ -446,16 +472,24 @@ def merge_blocks(
     # A trial's outcome is a pure function of the two blocks' contents (the
     # saved body, for unrolls), the live-out environment and the (fixed)
     # constraints — the merge *kind* affects only how a success commits, so
-    # rejections can be memoized kind-agnostically.
+    # rejections can be memoized kind-agnostically.  The live-out component
+    # is canonicalized before keying: the optimizer and the estimator only
+    # ever test live-out membership of registers the preview *defines*
+    # (dead-code/fold/implicit-predication decisions and the live-write
+    # count), and the preview's definitions are those of its two input
+    # blocks plus fresh guards (never live-out).  Restricting the mask to
+    # that def set makes trials re-offered after unrelated liveness churn
+    # hit the memo instead of re-running.
     memo_key = None
     if ctx.memoize_trials and not _splitting:
+        defs = _def_mask(hb) | _def_mask(body_source or target)
         memo_key = (
             hb_name,
             hb.version,
             s_name,
             target.version,
             body_source.version if body_source is not None else 0,
-            frozenset(live_out),
+            live_out & defs,
         )
         cached_regs = ctx._rejected_trials.get(memo_key)
         if cached_regs is not None:

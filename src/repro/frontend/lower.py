@@ -11,6 +11,7 @@ from repro.frontend import ast_nodes as ast
 from repro.ir.builder import FunctionBuilder
 from repro.ir.function import Module
 from repro.ir.opcodes import Opcode
+from repro.ir.regdense import renumber_registers
 
 
 class LoweringError(Exception):
@@ -260,6 +261,12 @@ class _FunctionLowerer:
             self.fb.ret(self.fb.movi(0))
         func = self.fb.finish()
         func.remove_unreachable_blocks()
+        # Dropping unreachable blocks (and short-circuit lowering in
+        # general) can leave gaps in the register names; canonicalize to
+        # first-appearance dense numbering so the bitmask dataflow engine
+        # never pays for names that no longer exist.  The mapping is
+        # monotonic, so downstream results are unchanged.
+        renumber_registers(func)
         return func
 
 

@@ -21,13 +21,18 @@ measured before the fast-path work (commit d482983), so the headline
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
+import platform
+import sys
 import time
 from typing import Optional
 
 from repro.core.convergent import form_module
 from repro.harness.parallel import form_many_parallel
 from repro.profiles import collect_profile
+from repro.workloads.generators import random_inputs, scaled_program
 from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_ORDER
 
 #: Wall time of the identical sequential loop at commit d482983 (pre-PR),
@@ -35,6 +40,28 @@ from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_ORDER
 #: fast path delivers stays measurable after the old code is gone.
 BASELINE_PRE_PR_S = 0.4773
 BASELINE_COMMIT = "d482983"
+
+#: Same loop at the end of the previous PR (commit 5199c39, set-based
+#: dataflow + incremental analyses), as recorded in its
+#: BENCH_formation.json.  The dense-bitset engine is compared against
+#: this, not just the pre-PR number.
+BASELINE_PR1_S = 0.2253
+BASELINE_PR1_COMMIT = "5199c39"
+#: The PR-1 trial-memo hit rate over the full suite (4 hits / 406
+#: attempts): re-keying on the canonical live-out mask cannot lift it on
+#: the SPEC suite — see the ``trial_memo`` notes in the bench JSON.
+BASELINE_PR1_TRIAL_HIT_RATE = 0.0099
+
+#: Synthetic scaling tiers: (label, target instruction count).  Targets
+#: are multiples of the mean SPEC function size (44 instructions), so the
+#: tiers read as "a SPEC workload, N times larger".
+SCALING_TIERS = (
+    ("10x", 440),
+    ("50x", 2200),
+    ("200x", 8800),
+)
+#: Deterministic seed for the scaling-tier generator.
+SCALING_SEED = 2006
 
 #: Small subset for CI smoke runs (--quick): a mix of loopy and branchy
 #: workloads, not a representative sample — quick mode never compares
@@ -63,13 +90,20 @@ def prepare_workloads(subset: Optional[list[str]] = None):
 
 
 def _time_sequential(prepared, fast_path: bool, repeat: int):
+    """Best-of-``repeat`` wall time; also returns the last run's cache
+    counters (aggregated outside the timed window, ``None`` on the legacy
+    path, which keeps no caches)."""
+    from repro.core.merge import FormationCacheStats
+
     best = None
     merges = mtup = None
+    cache = None
     for _ in range(repeat):
         modules = [(w.module(), p) for _, w, p in prepared]
         start = time.perf_counter()
         total_merges = 0
         total_mtup = (0, 0, 0, 0)
+        all_stats = []
         for module, profile in modules:
             stats = form_module(
                 module, profile=profile, fast_path=fast_path,
@@ -79,11 +113,35 @@ def _time_sequential(prepared, fast_path: bool, repeat: int):
             total_mtup = tuple(
                 a + b for a, b in zip(total_mtup, stats.mtup)
             )
+            all_stats.append(stats)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
         merges, mtup = total_merges, total_mtup
-    return best, merges, mtup
+        if fast_path:
+            total = FormationCacheStats()
+            attempts = 0
+            for stats in all_stats:
+                attempts += stats.attempts
+                if stats.cache is not None:
+                    total.add(stats.cache)
+            cache = _cache_dict(total, attempts)
+    return best, merges, mtup, cache
+
+
+def _cache_dict(total, attempts: int) -> dict:
+    result = total.as_dict()
+    result["trial_hit_rate"] = round(total.trial_hit_rate, 4)
+    result["attempts"] = attempts
+    hits = total.trial_hits
+    rejections = hits + total.trial_stores
+    # Hit rate over *rejection-outcome* trials only.  Committed merges can
+    # never hit the memo (only rejections are memoized), so dividing by
+    # all attempts understates how much of the memoizable work is reused.
+    result["trial_hit_rate_rejections"] = round(
+        hits / rejections if rejections else 0.0, 4
+    )
+    return result
 
 
 def _time_parallel(prepared, workers: Optional[int], repeat: int):
@@ -102,24 +160,76 @@ def _time_parallel(prepared, workers: Optional[int], repeat: int):
     return best, merges
 
 
-def _collect_cache_stats(prepared) -> dict:
-    """One instrumented fast-path pass; returns aggregated counters."""
-    from repro.core.merge import FormationCacheStats
+# -- scaling tier -----------------------------------------------------------
 
-    total = FormationCacheStats()
-    attempts = 0
-    for _, workload, profile in prepared:
+
+class _ScaledWorkload:
+    """Adapter giving a generated program the SPEC-workload interface."""
+
+    def __init__(self, label: str, target_instrs: int, seed: int):
+        self.label = label
+        self.target_instrs = target_instrs
+        self.seed = seed
+        self.args = random_inputs(seed)
+        self.preload = None
+
+    def module(self):
+        return scaled_program(self.target_instrs, self.seed)
+
+
+def run_scale_bench(
+    tiers=SCALING_TIERS, repeat: int = 1, seed: int = SCALING_SEED
+) -> list[dict]:
+    """Time formation on synthetic functions of growing size.
+
+    For each tier the fast path and the invalidate-everything legacy path
+    are timed on the *same* generated program (setup untimed); merge
+    counts must agree or the run aborts.  The interesting column is
+    ``speedup_fast_vs_legacy`` as a function of ``instrs``: the bitmask
+    dataflow engine plus the incremental analyses pay off more the larger
+    the function, because legacy re-analysis cost grows with function
+    size while the fast path's per-merge work stays local.
+    """
+    rows = []
+    for label, target in tiers:
+        workload = _ScaledWorkload(label, target, seed)
         module = workload.module()
-        stats = form_module(
-            module, profile=profile, fast_path=True, record_events=False
+        instrs = sum(
+            sum(len(b.instrs) for b in f.blocks.values()) for f in module
         )
-        attempts += stats.attempts
-        if stats.cache is not None:
-            total.add(stats.cache)
-    result = total.as_dict()
-    result["trial_hit_rate"] = round(total.trial_hit_rate, 4)
-    result["attempts"] = attempts
-    return result
+        blocks = sum(len(f.blocks) for f in module)
+        profile = collect_profile(module, args=workload.args)
+        prepared = [(label, workload, profile)]
+
+        fast_s, fast_merges, fast_mtup, fast_cache = _time_sequential(
+            prepared, True, repeat
+        )
+        legacy_s, legacy_merges, legacy_mtup, _ = _time_sequential(
+            prepared, False, repeat
+        )
+        if (fast_merges, fast_mtup) != (legacy_merges, legacy_mtup):
+            raise RuntimeError(
+                f"scaling tier {label}: fast path changed formation "
+                f"results: {(fast_merges, fast_mtup)} != "
+                f"{(legacy_merges, legacy_mtup)}"
+            )
+        rows.append(
+            {
+                "tier": label,
+                "target_instrs": target,
+                "instrs": instrs,
+                "blocks": blocks,
+                "seed": seed,
+                "repeat": repeat,
+                "sequential_fast_s": round(fast_s, 4),
+                "sequential_legacy_s": round(legacy_s, 4),
+                "speedup_fast_vs_legacy": round(legacy_s / fast_s, 3),
+                "merges": fast_merges,
+                "mtup": list(fast_mtup),
+                "cache": fast_cache,
+            }
+        )
+    return rows
 
 
 def run_bench(
@@ -128,16 +238,21 @@ def run_bench(
     workers: Optional[int] = None,
     repeat: int = 3,
     parallel: bool = True,
+    scale: bool = False,
 ) -> dict:
-    """Run the formation benchmark; returns the BENCH_formation.json dict."""
+    """Run the formation benchmark; returns the BENCH_formation.json dict.
+
+    ``scale=True`` additionally times the synthetic scaling tiers (see
+    :func:`run_scale_bench`); with ``quick`` only the smallest tier runs.
+    """
     if quick and subset is None:
         subset = list(QUICK_SUBSET)
         repeat = min(repeat, 2)
     prepared = prepare_workloads(subset)
     names = [name for name, _, _ in prepared]
 
-    fast_s, fast_merges, mtup = _time_sequential(prepared, True, repeat)
-    legacy_s, legacy_merges, legacy_mtup = _time_sequential(
+    fast_s, fast_merges, mtup, cache = _time_sequential(prepared, True, repeat)
+    legacy_s, legacy_merges, legacy_mtup, _ = _time_sequential(
         prepared, False, repeat
     )
     if (fast_merges, mtup) != (legacy_merges, legacy_mtup):
@@ -157,13 +272,28 @@ def run_bench(
         "merges": fast_merges,
         "mtup": list(mtup),
         "merges_per_sec": round(fast_merges / fast_s, 1),
-        "cache": _collect_cache_stats(prepared),
+        "cache": cache,
     }
-    # The pinned pre-PR baseline only describes the full suite.
+    # The pinned baselines only describe the full suite.
     if not quick and subset is None:
         result["baseline_pre_pr_s"] = BASELINE_PRE_PR_S
         result["baseline_commit"] = BASELINE_COMMIT
         result["speedup_vs_pre_pr"] = round(BASELINE_PRE_PR_S / fast_s, 3)
+        result["baseline_pr1_s"] = BASELINE_PR1_S
+        result["baseline_pr1_commit"] = BASELINE_PR1_COMMIT
+        result["speedup_vs_pr1"] = round(BASELINE_PR1_S / fast_s, 3)
+        result["trial_memo"] = {
+            "hit_rate_pr1": BASELINE_PR1_TRIAL_HIT_RATE,
+            "hit_rate": cache["trial_hit_rate"],
+            "hit_rate_rejections": cache["trial_hit_rate_rejections"],
+            "note": (
+                "every re-offer of a rejected pair follows a commit to the "
+                "hyperblock itself, so its version (hence the key) "
+                "legitimately changes; the canonical live-out-mask key "
+                "removes the remaining spurious misses, which the tiny "
+                "SPEC CFGs rarely produce — see docs/PERFORMANCE.md"
+            ),
+        }
 
     if parallel:
         par_s, par_merges = _time_parallel(prepared, workers, repeat)
@@ -175,6 +305,10 @@ def run_bench(
         result["parallel_s"] = round(par_s, 4)
         result["parallel_workers"] = workers or 0  # 0 = executor default
         result["speedup_parallel_vs_fast"] = round(fast_s / par_s, 3)
+
+    if scale:
+        tiers = SCALING_TIERS[:1] if quick else SCALING_TIERS
+        result["scaling"] = run_scale_bench(tiers=tiers)
     return result
 
 
@@ -194,6 +328,12 @@ def format_report(result: dict) -> str:
             f"  pre-PR baseline:   {result['baseline_pre_pr_s']:.4f}s at "
             f"{result['baseline_commit']} "
             f"(fast is {result['speedup_vs_pre_pr']:.2f}x)"
+        )
+    if "speedup_vs_pr1" in result:
+        lines.append(
+            f"  PR-1 baseline:     {result['baseline_pr1_s']:.4f}s at "
+            f"{result['baseline_pr1_commit']} "
+            f"(fast is {result['speedup_vs_pr1']:.2f}x)"
         )
     if "parallel_s" in result:
         lines.append(
@@ -219,10 +359,80 @@ def format_report(result: dict) -> str:
         f"loop forests: {cache['loop_renames']} renamed, "
         f"{cache['loop_rebuilds']} rebuilt"
     )
+    for row in result.get("scaling", ()):
+        lines.append(
+            f"  scale {row['tier']:>4}: {row['instrs']} instrs / "
+            f"{row['blocks']} blocks, fast {row['sequential_fast_s']:.3f}s, "
+            f"legacy {row['sequential_legacy_s']:.3f}s "
+            f"(fast is {row['speedup_fast_vs_legacy']:.2f}x), "
+            f"{row['merges']} merges"
+        )
     return "\n".join(lines)
 
 
+def _machine_metadata() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _history_summary(result: dict) -> dict:
+    """The compact per-run record appended to the JSON ``history`` list."""
+    summary = {
+        "timestamp": result.get("timestamp"),
+        "sequential_fast_s": result.get("sequential_fast_s"),
+        "sequential_legacy_s": result.get("sequential_legacy_s"),
+        "merges": result.get("merges"),
+        "quick": result.get("quick"),
+        "workload_count": len(result.get("workloads", ())),
+    }
+    if "parallel_s" in result:
+        summary["parallel_s"] = result["parallel_s"]
+    if "scaling" in result:
+        summary["scaling"] = [
+            {
+                "tier": row["tier"],
+                "sequential_fast_s": row["sequential_fast_s"],
+                "speedup_fast_vs_legacy": row["speedup_fast_vs_legacy"],
+            }
+            for row in result["scaling"]
+        ]
+    return summary
+
+
 def write_json(result: dict, path: str) -> None:
+    """Write the bench JSON, preserving earlier runs.
+
+    The previous file's ``history`` list is carried over and the new run
+    is appended to it, so repeated benchmarking builds a trajectory
+    instead of blindly overwriting the only data point.  Machine and
+    interpreter metadata are recorded with every run — a regression that
+    is really "same code, different machine" should be readable as such.
+    """
+    result = dict(result)
+    result["machine"] = _machine_metadata()
+    result["timestamp"] = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds")
+    )
+    history: list = []
+    try:
+        with open(path) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        previous = None
+    if isinstance(previous, dict):
+        old_history = previous.get("history")
+        if isinstance(old_history, list):
+            history.extend(old_history)
+        elif "sequential_fast_s" in previous:
+            # Pre-history file: preserve its single data point.
+            history.append(_history_summary(previous))
+    history.append(_history_summary(result))
+    result["history"] = history
     with open(path, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -64,6 +64,11 @@ def run(argv: Optional[list[str]] = None) -> str:
         help="bench: skip the process-pool configuration",
     )
     parser.add_argument(
+        "--scale", action="store_true",
+        help="bench: also time the synthetic scaling tiers (10x/50x/200x "
+        "SPEC-sized functions; with --quick only the smallest tier)",
+    )
+    parser.add_argument(
         "--ceiling", type=float, default=None,
         help="bench: fail (exit 1) if sequential fast time exceeds this "
         "many seconds",
@@ -81,6 +86,7 @@ def run(argv: Optional[list[str]] = None) -> str:
             workers=args.workers,
             repeat=args.repeat,
             parallel=not args.no_parallel,
+            scale=args.scale,
         )
         if args.json:
             write_json(result, args.json)

@@ -28,6 +28,27 @@ from repro.core.merge import MergeStats
 from repro.ir.function import Function, Module
 from repro.profiles.data import ProfileData
 
+#: Below this many basic blocks (summed over the input), auto mode
+#: (``max_workers=None``) stays sequential: spawning a process pool costs
+#: on the order of 100 ms while formation chews through a few thousand
+#: blocks per second, so small inputs lose more to pickling and worker
+#: start-up than they gain from parallelism.  An explicit ``max_workers``
+#: >= 2 always uses the pool.
+AUTO_SERIAL_MAX_BLOCKS = 256
+
+
+def _total_blocks(modules) -> int:
+    return sum(
+        len(func.blocks) for module in modules for func in module
+    )
+
+
+def _auto_serial(modules, max_workers: Optional[int]) -> bool:
+    """True when auto mode should fall back to the sequential driver."""
+    if max_workers is not None:
+        return max_workers == 1
+    return _total_blocks(modules) < AUTO_SERIAL_MAX_BLOCKS
+
 
 def _form_one(payload):
     """Worker: form a single pickled function; module-level for pickling."""
@@ -58,12 +79,14 @@ def form_module_parallel(
     the result is identical to :func:`form_module` on the same input.
 
     Falls back to the sequential driver when the module has at most one
-    function or ``max_workers == 1`` — the pool's pickling overhead
-    dwarfs formation time for tiny inputs.
+    function, when ``max_workers == 1``, or — in auto mode
+    (``max_workers=None``) — when the module is smaller than
+    ``AUTO_SERIAL_MAX_BLOCKS`` basic blocks, where the pool's start-up
+    and pickling overhead dwarfs formation time.
     """
     record_events = form_kwargs.get("record_events", True)
     names = list(module.functions)
-    if len(names) <= 1 or max_workers == 1:
+    if len(names) <= 1 or _auto_serial((module,), max_workers):
         return form_module(module, profile=profile, **form_kwargs)
 
     # Schedule biggest functions first so the pool drains evenly.
@@ -95,8 +118,14 @@ def form_many_parallel(
     stats)`` pairs in input order.  Note the *returned* modules are the
     formed ones (round-tripped through the pool); the caller's input
     modules are left untouched.
+
+    Auto mode (``max_workers=None``) stays sequential below
+    ``AUTO_SERIAL_MAX_BLOCKS`` total basic blocks, like
+    :func:`form_module_parallel`.
     """
-    if len(items) <= 1 or max_workers == 1:
+    if len(items) <= 1 or _auto_serial(
+        (module for module, _ in items), max_workers
+    ):
         out = []
         for module, profile in items:
             stats = form_module(module, profile=profile, **form_kwargs)

@@ -96,6 +96,13 @@ def _run_table(
 ) -> TableResult:
     table = TableResult(title=title, configs=tuple(configs), metric=metric)
     names = subset if subset is not None else list(workloads)
+    if isinstance(workloads, dict):
+        unknown = [name for name in names if name not in workloads]
+        if unknown:
+            raise SystemExit(
+                f"unknown workload(s): {', '.join(unknown)}; "
+                f"available: {', '.join(workloads)}"
+            )
     for name in names:
         experiment = WorkloadExperiment(
             workload=workloads[name] if isinstance(workloads, dict) else name,

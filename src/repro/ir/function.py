@@ -6,6 +6,7 @@ import itertools
 from typing import Iterator, Optional
 
 from repro.ir.block import BasicBlock
+from repro.ir.regdense import RegisterSpace
 
 #: Process-wide monotonic stamp source for function versions (bumped when
 #: the block *set* changes; see :attr:`Function.version`).
@@ -74,7 +75,10 @@ class Function:
         self.params: list[int] = list(params) if params else []
         self.blocks: dict[str, BasicBlock] = {}
         self.entry: Optional[str] = None
-        self._next_reg = (max(self.params) + 1) if self.params else 0
+        #: The register interning table (name ↔ dense int); owns the
+        #: allocation frontier and is stable across merges, so register
+        #: names in printed IR never change behind an analysis's back.
+        self.regs = RegisterSpace(self.params)
         self._name_counter = 0
         #: Monotonic stamp bumped whenever the block set changes (add or
         #: remove); per-block content changes bump the block's own version.
@@ -88,18 +92,19 @@ class Function:
     # -- namespaces ---------------------------------------------------------
 
     def new_reg(self) -> int:
-        reg = self._next_reg
-        self._next_reg += 1
-        return reg
+        return self.regs.new()
 
     def note_reg(self, reg: int) -> int:
         """Record that ``reg`` is in use (keeps ``new_reg`` collision-free)."""
-        if reg >= self._next_reg:
-            self._next_reg = reg + 1
-        return reg
+        return self.regs.note(reg)
 
     def max_reg(self) -> int:
-        return self._next_reg
+        return self.regs.next_reg
+
+    @property
+    def _next_reg(self) -> int:
+        # Backwards-compatible view of the interning table's frontier.
+        return self.regs.next_reg
 
     def new_block_name(self, base: str, tag: str = "x") -> str:
         """A fresh block name derived from ``base``, e.g. ``loop.d3``."""
@@ -173,7 +178,7 @@ class Function:
         for name, block in self.blocks.items():
             clone.blocks[name] = block.copy(name)
         clone.entry = self.entry
-        clone._next_reg = self._next_reg
+        clone.regs = self.regs.copy()
         clone._name_counter = self._name_counter
         return clone
 

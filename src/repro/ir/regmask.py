@@ -1,0 +1,63 @@
+"""Register bitmask helpers — the dataflow engine's set algebra.
+
+Virtual registers are small dense integers (``Function.new_reg`` hands
+them out sequentially, and :func:`repro.ir.regdense.renumber_registers`
+restores density for externally parsed IR), so a *set of registers* is
+represented as a plain Python ``int`` with bit ``r`` set for register
+``r``.  Union, intersection, difference and membership then cost one
+arbitrary-precision integer operation — a handful of machine words for
+real functions — instead of per-element hashing, and equality/hashing of
+a whole set (the merge-trial memo key) is O(words) as well.
+
+Conventions used throughout the analyses:
+
+- the empty set is ``0``;
+- ``mask_of(iterable)`` builds a mask, ``regs_of(mask)`` materializes the
+  ``set[int]`` view (cold paths and tests only);
+- membership is ``mask >> reg & 1`` inline on hot paths, or :func:`has`;
+- cardinality is ``mask.bit_count()`` (Python >= 3.10; CI exercises both
+  3.11 and 3.12).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+def mask_of(regs: Iterable[int]) -> int:
+    """Bitmask with one bit set per register in ``regs``."""
+    mask = 0
+    for reg in regs:
+        mask |= 1 << reg
+    return mask
+
+
+def has(mask: int, reg: int) -> bool:
+    """Membership test (hot paths inline ``mask >> reg & 1`` directly)."""
+    return bool(mask >> reg & 1)
+
+
+def bits(mask: int) -> Iterator[int]:
+    """Iterate the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def regs_of(mask: int) -> set[int]:
+    """The ``set[int]`` view of a mask (for display, tests, cold paths)."""
+    return set(bits(mask))
+
+
+def as_mask(live: "int | Iterable[int]") -> int:
+    """Normalize a caller-supplied register collection to a mask.
+
+    The dataflow core works in masks, but external callers (and the test
+    suite) may still hand in ``set``/``frozenset``/lists of registers;
+    accepting both keeps the public API stable while the hot paths pay
+    only an ``isinstance`` check.
+    """
+    if isinstance(live, int):
+        return live
+    return mask_of(live)

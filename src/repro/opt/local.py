@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.ir.block import BasicBlock
 from repro.ir.instruction import Instruction, Predicate
+from repro.ir.regmask import as_mask
 from repro.ir.opcodes import COMMUTATIVE_OPS, PURE_OPS, Opcode
 from repro.ir.semantics import EVAL_BINOP as _BINOPS
 
@@ -36,18 +37,37 @@ _DCE_REMOVABLE_OPS = PURE_OPS | {Opcode.NULLW, Opcode.FANOUT}
 
 def optimize_block(
     block: BasicBlock,
-    live_out: set[int],
+    live_out: "int | set[int]",
     max_rounds: int = 4,
 ) -> bool:
-    """Optimize ``block`` in place; return whether anything changed."""
+    """Optimize ``block`` in place; return whether anything changed.
+
+    ``live_out`` is a register bitmask (any iterable of register numbers
+    is accepted and converted once on entry).
+    """
+    live_out = as_mask(live_out)
     changed_any = False
+    # Per-pass no-op elision: a pass whose input is unchanged since a run
+    # where it reported no change is deterministic and would report no
+    # change again, so skipping it leaves the optimization trajectory (and
+    # the final IR) byte-identical to the plain round-robin loop — it only
+    # removes provably redundant scans.  ``stamp`` counts block mutations;
+    # ``clean[i]`` records the stamp at which pass ``i`` last confirmed the
+    # block clean (or -1 while it has changes it has not yet re-confirmed).
+    stamp = 0
+    clean = [-1, -1, -1, -1, -1]
     for _ in range(max_rounds):
         changed = False
-        changed |= propagate_and_fold(block)
-        changed |= value_number(block)
-        changed |= fold_moves(block, live_out)
-        changed |= implicit_predication(block, live_out)
-        changed |= eliminate_dead_code(block, live_out)
+        for i, needs_live in _PASSES:
+            if clean[i] == stamp:
+                continue
+            fn = _PASS_FNS[i]
+            if (fn(block, live_out) if needs_live else fn(block)):
+                changed = True
+                stamp += 1
+                clean[i] = -1
+            else:
+                clean[i] = stamp
         changed_any |= changed
         if not changed:
             break
@@ -228,9 +248,10 @@ def value_number(block: BasicBlock) -> bool:
     STORE = Opcode.STORE
     MOV = Opcode.MOV
 
+    # ``remove`` only ever receives the *current* index, so no membership
+    # check is needed inside the loop — removed instructions are skipped by
+    # never being revisited.
     for i, instr in enumerate(instrs):
-        if i in remove:
-            continue
         op = instr.op
         dest = instr.dest
         if op is STORE:
@@ -325,7 +346,7 @@ def value_number(block: BasicBlock) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def fold_moves(block: BasicBlock, live_out: set[int]) -> bool:
+def fold_moves(block: BasicBlock, live_out: "int | set[int]") -> bool:
     """Fold ``t = op(...); r = mov t [if g]`` into ``r = op(...) [if g]``.
 
     The write-back mov that non-SSA lowering produces for every variable
@@ -335,7 +356,17 @@ def fold_moves(block: BasicBlock, live_out: set[int]) -> bool:
     pure op (or load), and ``r`` is neither read nor written between the
     two instructions.
     """
+    live_out = as_mask(live_out)
     instrs = block.instrs
+    MOV = Opcode.MOV
+    for instr in instrs:
+        if instr.op is MOV and instr.dest is not None:
+            break
+    else:
+        # No foldable mov at all — skip building the use-count map.  This
+        # is the common case from the second optimizer round on, once the
+        # write-back movs of the fresh merge have been folded away.
+        return False
     use_counts: dict[int, int] = {}
     counts_get = use_counts.get
     for instr in instrs:
@@ -350,7 +381,7 @@ def fold_moves(block: BasicBlock, live_out: set[int]) -> bool:
     producer_at: dict[int, int] = {}  # reg -> index of latest producer
     for j, instr in enumerate(instrs):
         if (
-            instr.op is Opcode.MOV
+            instr.op is MOV
             and instr.dest is not None
             and j not in remove
         ):
@@ -361,7 +392,7 @@ def fold_moves(block: BasicBlock, live_out: set[int]) -> bool:
                 i is not None
                 and i not in remove
                 and t != r
-                and t not in live_out
+                and not live_out >> t & 1
                 and use_counts.get(t, 0) == 1
             ):
                 producer = instrs[i]
@@ -456,12 +487,13 @@ def _implies(
     edges: dict[tuple[int, bool], set[tuple[int, bool]]],
     q: Predicate,
     p: Predicate,
-    unstable: frozenset[int] = frozenset(),
+    unstable: int = 0,
 ) -> bool:
     """True if ``q`` holding guarantees ``p`` holds.
 
-    Atoms over registers in ``unstable`` (redefined between the producer
-    and the consumer) name different dynamic values and are not traversed.
+    Atoms over registers in the ``unstable`` mask (redefined between the
+    producer and the consumer) name different dynamic values and are not
+    traversed.
     """
     start = (q.reg, q.sense)
     goal = (p.reg, p.sense)
@@ -472,7 +504,7 @@ def _implies(
     while stack:
         node = stack.pop()
         for nxt in edges.get(node, ()):
-            if nxt[0] in unstable:
+            if unstable >> nxt[0] & 1:
                 continue
             if nxt == goal:
                 return True
@@ -482,13 +514,14 @@ def _implies(
     return False
 
 
-def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
+def implicit_predication(block: BasicBlock, live_out: "int | set[int]") -> bool:
     """Drop predicates that are implied by every consumer's predicate.
 
     Only the *head* of a dependence chain needs the predicate; instructions
     whose value is consumed exclusively under (predicates implying) the
     same guard are implicitly predicated, as in dataflow predication [25].
     """
+    live_out = as_mask(live_out)
     instrs = block.instrs
     value_ops = _VALUE_OPS
     candidates = [
@@ -497,11 +530,15 @@ def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
         if instr.pred is not None
         and instr.dest is not None
         and instr.op in value_ops
-        and instr.dest not in live_out
+        and not live_out >> instr.dest & 1
     ]
     if not candidates:
         return False
-    edges, _ = _implication_edges(block)
+    # The implication graph is only consulted when a reader's guard differs
+    # from the candidate's own; consumers guarded by exactly the candidate's
+    # predicate (the overwhelmingly common shape if-conversion produces)
+    # resolve reflexively, so the graph is built lazily on first real need.
+    edges: "dict | None" = None
     changed = False
     n = len(instrs)
     for i in candidates:
@@ -515,7 +552,7 @@ def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
         # A predicate atom names a stable dynamic value only while its
         # register is not redefined between this instruction and the reader
         # (unrolled iterations recompute loop tests into the same register).
-        redefined: set[int] = set()
+        redefined = 0
         for k in range(i + 1, n):
             later = instrs[k]
             later_pred = later.pred
@@ -524,17 +561,22 @@ def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
                 q = later_pred
                 if (
                     q is None
-                    or p.reg in redefined
-                    or q.reg in redefined
-                    or not _implies(edges, q, p, frozenset(redefined))
+                    or redefined >> p.reg & 1
+                    or redefined >> q.reg & 1
                 ):
                     ok = False
                     break
+                if q.reg != p.reg or q.sense != p.sense:
+                    if edges is None:
+                        edges, _ = _implication_edges(block)
+                    if not _implies(edges, q, p, redefined):
+                        ok = False
+                        break
             later_dest = later.dest
             if later_dest is not None:
                 if later_dest == d and later_pred is None:
                     break
-                redefined.add(later_dest)
+                redefined |= 1 << later_dest
         if ok and has_reader:
             instr.pred = None
             changed = True
@@ -546,27 +588,46 @@ def implicit_predication(block: BasicBlock, live_out: set[int]) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def eliminate_dead_code(block: BasicBlock, live_out: set[int]) -> bool:
+def eliminate_dead_code(block: BasicBlock, live_out: "int | set[int]") -> bool:
     """Remove pure instructions whose results are never observed."""
-    live = set(live_out)
+    live = as_mask(live_out)
     keep: list[Instruction] = []
     keep_append = keep.append
-    live_add = live.add
     removable_ops = _DCE_REMOVABLE_OPS
     changed = False
     for instr in reversed(block.instrs):
         dest = instr.dest
-        if dest is not None and dest not in live and instr.op in removable_ops:
+        if (
+            dest is not None
+            and not live >> dest & 1
+            and instr.op in removable_ops
+        ):
             changed = True
             continue
         pred = instr.pred
         if dest is not None and pred is None:
-            live.discard(dest)
-        live.update(instr.srcs)
+            live &= ~(1 << dest)
+        for reg in instr.srcs:
+            live |= 1 << reg
         if pred is not None:
-            live_add(pred.reg)
+            live |= 1 << pred.reg
         keep_append(instr)
     if changed:
         keep.reverse()
         block.instrs = keep
     return changed
+
+
+#: The optimize_block schedule: (index, takes-live-out) in run order; the
+#: indices key the per-pass clean stamps.
+_PASS_FNS = (
+    propagate_and_fold,
+    value_number,
+    fold_moves,
+    implicit_predication,
+    eliminate_dead_code,
+)
+_PASSES = tuple(
+    (i, fn in (fold_moves, implicit_predication, eliminate_dead_code))
+    for i, fn in enumerate(_PASS_FNS)
+)

@@ -106,35 +106,58 @@ class _Gen:
         fb.br(head_name)
         fb.block(exit_name)
 
+    def _emit_stmt(self, depth: int) -> None:
+        roll = self.rng.random()
+        if depth < self.max_depth and roll < 0.25:
+            self._emit_if(depth)
+        elif depth < self.max_depth and roll < 0.40:
+            self._emit_while(depth)
+        elif roll < 0.55:
+            self._emit_store()
+        else:
+            self._emit_assign()
+
     def _emit_stmts(self, depth: int) -> None:
         for _ in range(self.rng.randint(1, self.max_stmts)):
-            roll = self.rng.random()
-            if depth < self.max_depth and roll < 0.25:
-                self._emit_if(depth)
-            elif depth < self.max_depth and roll < 0.40:
-                self._emit_while(depth)
-            elif roll < 0.55:
-                self._emit_store()
-            else:
-                self._emit_assign()
+            self._emit_stmt(depth)
 
     # -- top level ------------------------------------------------------------
 
-    def build(self, nvars: int = 4) -> Module:
+    def _prologue(self, nvars: int) -> None:
         fb = self.fb
         fb.block("entry", entry=True)
         self.vars = [0, 1]  # the two parameters
         for _ in range(nvars):
             self.vars.append(fb.movi(self.rng.randint(-4, 4)))
-        self._emit_stmts(0)
+
+    def _epilogue(self) -> None:
         # Checksum: fold all variables together so everything is live.
+        fb = self.fb
         acc = fb.movi(0)
         for var in self.vars:
             acc = fb.add(acc, var)
             acc = fb.op(Opcode.XOR, acc, fb.mul(var, fb.movi(3)))
         fb.ret(acc)
+
+    def build(self, nvars: int = 4) -> Module:
+        self._prologue(nvars)
+        self._emit_stmts(0)
+        self._epilogue()
         module = Module("random")
-        module.add_function(fb.finish())
+        module.add_function(self.fb.finish())
+        return module
+
+    def build_sized(self, target_instrs: int, nvars: int = 6) -> Module:
+        """Grow the function until it holds roughly ``target_instrs``."""
+        self._prologue(nvars)
+        blocks = self.fb.func.blocks
+        size = 0
+        while size < target_instrs:
+            self._emit_stmt(0)
+            size = sum(len(b.instrs) for b in blocks.values())
+        self._epilogue()
+        module = Module("scaled")
+        module.add_function(self.fb.finish())
         return module
 
 
@@ -142,6 +165,23 @@ def random_program(seed: int, max_depth: int = 3, nvars: int = 4) -> Module:
     """A random, terminating, single-function program."""
     rng = random.Random(seed)
     return _Gen(rng, max_depth=max_depth).build(nvars=nvars)
+
+
+#: Mean function size (instructions) across the SPEC workload suite; the
+#: scaling tiers in :mod:`repro.harness.bench` are multiples of this.
+SPEC_MEAN_INSTRS = 44
+
+
+def scaled_program(target_instrs: int, seed: int) -> Module:
+    """A deterministic synthetic program of roughly ``target_instrs``.
+
+    Same statement mix as :func:`random_program` (if/else chains, bounded
+    while loops, scratch-memory loads/stores) but grown to a size target,
+    so formation cost can be measured as a function of function size.
+    Programs terminate, so they can be profiled like any SPEC workload.
+    """
+    rng = random.Random(seed)
+    return _Gen(rng, max_depth=3, max_stmts=6).build_sized(target_instrs)
 
 
 def random_inputs(seed: int) -> tuple[int, int]:

@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass, field
 from repro.frontend import compile_tl
 from repro.ir.function import Module
+from repro.ir.regdense import renumber_registers
 
 
 @dataclass
@@ -56,6 +57,12 @@ class Workload:
             self.source, name=self.name, unroll_for=self.unroll_for, inline=True
         )
         optimize_module(module)
+        # Scalar DCE leaves gaps in the register names; renumber to
+        # first-appearance dense order so the bitmask analyses index by
+        # the smallest possible width and the printed IR round-trips
+        # through textparse + renumber byte-identically.
+        for func in module:
+            renumber_registers(func)
         return module
 
 

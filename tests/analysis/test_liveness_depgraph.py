@@ -2,6 +2,7 @@
 
 from repro.analysis import Liveness, dep_preds, dependence_height, path_dependence_height
 from repro.ir import BasicBlock, FunctionBuilder, Instruction, Opcode, Predicate
+from repro.ir.regmask import has
 from tests.conftest import make_counting_loop, make_diamond
 
 
@@ -12,17 +13,17 @@ def test_loop_carried_registers_live_around_loop():
     entry = func.block("entry")
     i_reg = entry.instrs[0].dest
     sum_reg = entry.instrs[1].dest
-    assert i_reg in live.live_in["head"]
-    assert sum_reg in live.live_in["head"]
-    assert i_reg in live.live_out["body"]
+    assert has(live.live_in["head"], i_reg)
+    assert has(live.live_in["head"], sum_reg)
+    assert has(live.live_out["body"], i_reg)
 
 
 def test_dead_after_last_use():
     func = make_diamond()
     live = Liveness(func)
     # Params v0, v1 are not live out of the join block D.
-    assert 0 not in live.live_out["D"]
-    assert 1 not in live.live_out["D"]
+    assert not has(live.live_out["D"], 0)
+    assert not has(live.live_out["D"], 1)
 
 
 def test_predicated_write_does_not_kill_liveness():
@@ -38,7 +39,7 @@ def test_predicated_write_does_not_kill_liveness():
     live = Liveness(func)
     # result may flow through entry unwritten (pred false), so it is
     # live-in at entry even though entry "writes" it.
-    assert result in live.live_in["entry"]
+    assert has(live.live_in["entry"], result)
 
 
 def test_unpredicated_write_kills():
@@ -50,8 +51,8 @@ def test_unpredicated_write_kills():
     fb.block("next")
     fb.ret(r)
     live = Liveness(fb.finish())
-    assert r not in live.live_in["entry"]
-    assert r in live.live_in["next"]
+    assert not has(live.live_in["entry"], r)
+    assert has(live.live_in["next"], r)
 
 
 def test_live_through():
@@ -62,8 +63,8 @@ def test_live_through():
     fb.block("next")
     fb.ret(fb.add(0, 1))
     live = Liveness(fb.finish())
-    assert 0 in live.live_through("entry")
-    assert 1 in live.live_through("entry")
+    assert has(live.live_through("entry"), 0)
+    assert has(live.live_through("entry"), 1)
 
 
 def _block(*instrs):

@@ -9,6 +9,7 @@ from repro.core.convergent import expand_block
 from repro.core.merge import FormationContext
 from repro.core.policies import BreadthFirstPolicy
 from repro.ir import FunctionBuilder
+from repro.ir.regmask import has
 from repro.ir.instruction import Instruction
 from repro.ir.opcodes import Opcode
 from repro.workloads.generators import random_program
@@ -49,13 +50,13 @@ def test_refresh_propagates_to_predecessor_components():
     func = fb.finish()
     cfg = func.cfg()
     live = Liveness(func, cfg=cfg)
-    assert v not in live.live_out["entry"]
+    assert not has(live.live_out["entry"], v)
     block = func.blocks["C"]
     block.instrs.insert(0, Instruction(Opcode.NEG, dest=func.new_reg(), srcs=(v,)))
     block.touch()
     live.refresh(cfg, None, changed=("C",))
-    assert v in live.live_out["entry"]
-    assert v in live.live_in["A"]
+    assert has(live.live_out["entry"], v)
+    assert has(live.live_in["A"], v)
     _assert_same_solution(live, func)
 
 

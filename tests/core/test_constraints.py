@@ -130,7 +130,7 @@ def test_predicated_temps_do_not_count_as_reads():
         I(Opcode.RET),
     )
     est = estimate_block(blk, set(), TripsConstraints())
-    reads = sum(est.bank_reads.values())
+    reads = est.reg_reads
     assert reads == 2  # v0 and v1 only; v5 is internal
 
 

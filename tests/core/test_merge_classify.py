@@ -13,6 +13,7 @@ from repro.core.merge import (
 from repro.analysis.loops import LoopForest
 from repro.core.constraints import TripsConstraints
 from repro.ir import FunctionBuilder, build_module
+from repro.ir.regmask import has
 from repro.profiles import collect_profile
 from repro.sim import run_module
 from tests.conftest import make_counting_loop, make_diamond, make_while_loop
@@ -193,4 +194,4 @@ def test_live_out_of_uses_successor_live_in():
     live_out = ctx.live_out_of(func.blocks["body"])
     # body -> head: the loop counter and accumulator are live.
     entry = func.blocks["entry"]
-    assert entry.instrs[0].dest in live_out
+    assert has(live_out, entry.instrs[0].dest)

@@ -62,6 +62,68 @@ def test_form_many_parallel_matches_sequential():
         assert format_module(par_mod) == format_module(seq_mod)
 
 
+def test_auto_mode_small_input_never_touches_the_pool(monkeypatch):
+    """Below the block threshold, auto mode must not spawn a pool."""
+    import repro.harness.parallel as parallel_mod
+
+    class _Boom:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("process pool spawned for a small input")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _Boom)
+
+    seq = _combo_module()
+    par = _combo_module()
+    total_blocks = sum(len(f.blocks) for f in par)
+    assert total_blocks < parallel_mod.AUTO_SERIAL_MAX_BLOCKS
+    seq_stats = form_module(seq)
+    par_stats = form_module_parallel(par)  # auto: stays sequential
+    assert par_stats.mtup == seq_stats.mtup
+    assert format_module(par) == format_module(seq)
+
+    items = [(_combo_module(), None)]
+    results = form_many_parallel(items + [(_combo_module(), None)])
+    assert len(results) == 2
+
+
+def test_auto_mode_large_input_uses_the_pool(monkeypatch):
+    """Above the threshold, auto mode reaches for the executor."""
+    import pytest
+
+    import repro.harness.parallel as parallel_mod
+
+    sentinel = RuntimeError("pool requested")
+
+    class _Boom:
+        def __init__(self, *args, **kwargs):
+            raise sentinel
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _Boom)
+    # Shrink the threshold instead of building a huge module: the
+    # heuristic input is the block count, which is what's under test.
+    monkeypatch.setattr(parallel_mod, "AUTO_SERIAL_MAX_BLOCKS", 1)
+
+    with pytest.raises(RuntimeError, match="pool requested"):
+        form_module_parallel(_combo_module())
+    with pytest.raises(RuntimeError, match="pool requested"):
+        form_many_parallel([(_combo_module(), None), (_combo_module(), None)])
+
+
+def test_explicit_workers_bypass_the_threshold(monkeypatch):
+    """``max_workers=2`` forces the pool even for tiny inputs."""
+    import pytest
+
+    import repro.harness.parallel as parallel_mod
+
+    class _Boom:
+        def __init__(self, *args, **kwargs):
+            raise RuntimeError("pool requested")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _Boom)
+    with pytest.raises(RuntimeError, match="pool requested"):
+        form_module_parallel(_combo_module(), max_workers=2)
+
+
 def test_function_pickle_restamps_versions():
     func = random_program(2).function("main")
     clone = pickle.loads(pickle.dumps(func))

@@ -1,0 +1,237 @@
+"""Dense register numbering: the interning table and the renumber pass.
+
+Two properties are pinned here.  First, :class:`RegisterSpace` is an
+exact model of the names a function uses — dense allocation stays
+implicit, sparse notes are tracked, and ``dense_of``/``reg_of`` are
+inverses.  Second, :func:`renumber_registers` is the identity on
+everything the builder produces (printed IR byte-identical, no version
+bumps) and a semantics-preserving densification on sparse parsed IR.
+"""
+
+import pytest
+
+from repro.ir import format_function, format_module, parse_function_text
+from repro.ir.function import Module
+from repro.ir.regdense import RegisterSpace, renumber_registers
+from repro.ir.regmask import as_mask, bits, has, mask_of, regs_of
+from repro.sim import run_module
+from repro.workloads.generators import random_inputs, random_program
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+
+# -- RegisterSpace ----------------------------------------------------------
+
+
+def test_new_hands_out_sequential_names():
+    space = RegisterSpace()
+    assert [space.new() for _ in range(4)] == [0, 1, 2, 3]
+    assert space.next_reg == 4
+    assert space.is_dense()
+    assert space.count == 4
+    assert space.seen == 0b1111
+
+
+def test_note_below_frontier_is_a_noop():
+    space = RegisterSpace()
+    for _ in range(3):
+        space.new()
+    version = space.version
+    assert space.note(1) == 1
+    assert space.version == version  # already interned, nothing grew
+    assert space.is_dense()
+
+
+def test_note_gap_switches_to_sparse_tracking():
+    space = RegisterSpace()
+    space.new()  # v0
+    space.note(5)
+    assert not space.is_dense()
+    assert space.count == 2
+    assert space.seen == (1 << 0) | (1 << 5)
+    assert space.next_reg == 6  # new() must not collide with v5
+    assert space.new() == 6
+
+
+def test_sparse_space_fills_back_to_dense():
+    space = RegisterSpace()
+    space.note(2)  # gap: v0, v1 missing
+    assert not space.is_dense()
+    space.note(0)
+    space.note(1)
+    assert space.is_dense()
+    assert space.count == 3
+
+
+def test_dense_of_and_reg_of_are_inverses():
+    space = RegisterSpace()
+    for reg in (0, 3, 4, 9):
+        space.note(reg)
+    names = sorted(regs_of(space.seen))
+    assert names == [0, 3, 4, 9]
+    for dense, reg in enumerate(names):
+        assert space.dense_of(reg) == dense
+        assert space.reg_of(dense) == reg
+    with pytest.raises(IndexError):
+        space.reg_of(len(names))
+
+
+def test_dense_of_is_identity_on_dense_spaces():
+    space = RegisterSpace()
+    for _ in range(5):
+        space.new()
+    assert all(space.dense_of(reg) == reg for reg in range(5))
+    assert all(space.reg_of(reg) == reg for reg in range(5))
+    with pytest.raises(IndexError):
+        space.reg_of(5)
+
+
+def test_copy_is_independent():
+    space = RegisterSpace(params=[0, 1])
+    clone = space.copy()
+    clone.new()
+    clone.note(10)
+    assert space.next_reg == 2
+    assert space.is_dense()
+    assert not clone.is_dense()
+
+
+def test_version_bumps_track_namespace_growth():
+    space = RegisterSpace()
+    v0 = space.version
+    space.new()
+    assert space.version > v0
+    v1 = space.version
+    space.note(0)  # no growth
+    assert space.version == v1
+    space.note(7)  # growth
+    assert space.version > v1
+
+
+# -- regmask helpers --------------------------------------------------------
+
+
+def test_mask_round_trip():
+    regs = {0, 3, 17, 64, 200}
+    mask = mask_of(regs)
+    assert regs_of(mask) == regs
+    assert list(bits(mask)) == sorted(regs)
+    assert all(has(mask, reg) for reg in regs)
+    assert not has(mask, 1)
+
+
+def test_as_mask_accepts_masks_and_collections():
+    assert as_mask(0b1010) == 0b1010
+    assert as_mask({1, 3}) == 0b1010
+    assert as_mask(frozenset()) == 0
+    assert as_mask(0) == 0
+
+
+# -- renumber_registers: identity on builder-produced IR --------------------
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_BENCHMARKS))
+def test_spec_workloads_round_trip_byte_identical(name):
+    module = SPEC_BENCHMARKS[name].module()
+    before = format_module(module)
+    versions = {
+        fname: {bname: block.version for bname, block in func.blocks.items()}
+        for fname, func in module.functions.items()
+    }
+    for func in module:
+        mapping = renumber_registers(func)
+        assert all(old == new for old, new in mapping.items())
+    assert format_module(module) == before
+    # Identity renumbering must not invalidate analysis caches.
+    for fname, func in module.functions.items():
+        for bname, block in func.blocks.items():
+            assert block.version == versions[fname][bname]
+    # And the same holds through the text parser: parse the printed IR,
+    # renumber, print again — byte-identical to what we started with.
+    for fname, func in module.functions.items():
+        text = format_function(func)
+        parsed = parse_function_text(text)
+        mapping = renumber_registers(parsed)
+        assert all(old == new for old, new in mapping.items())
+        assert format_function(parsed) == text
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 58, 91])
+def test_random_programs_round_trip_byte_identical(seed):
+    module = random_program(seed)
+    before = format_module(module)
+    for func in module:
+        mapping = renumber_registers(func)
+        assert all(old == new for old, new in mapping.items())
+    assert format_module(module) == before
+
+
+# -- renumber_registers: densification of sparse parsed IR ------------------
+
+_SPARSE_TEXT = """\
+func @main(v0, v1) {
+entry:
+  v7 = movi 3
+  v900 = add v0, v7
+  v12 = tlt v900, v1
+  br big if v12
+  br small if !v12
+big:
+  v900 = mul v900, v7
+  br join
+small:
+  v900 = sub v900, v7
+  br join
+join:
+  v31 = add v900, v0
+  ret v31
+}
+"""
+
+
+def test_sparse_function_renumbers_dense():
+    func = parse_function_text(_SPARSE_TEXT)
+    assert not func.regs.is_dense()
+    mapping = renumber_registers(func)
+    assert func.regs.is_dense()
+    # First-appearance order: params, then v7, v900, v12, then v31.
+    assert mapping == {0: 0, 1: 1, 7: 2, 900: 3, 12: 4, 31: 5}
+    assert func.regs.next_reg == 6
+    text = format_function(func)
+    assert "v900" not in text
+    assert "v5 = add v3, v0" in text
+
+
+def test_sparse_renumber_preserves_semantics():
+    sparse = parse_function_text(_SPARSE_TEXT)
+    dense = parse_function_text(_SPARSE_TEXT)
+    renumber_registers(dense)
+    for args in [(0, 0), (4, -2), (-3, 9), (10, 10)]:
+        mod_sparse, mod_dense = Module("s"), Module("d")
+        mod_sparse.add_function(parse_function_text(format_function(sparse)))
+        mod_dense.add_function(parse_function_text(format_function(dense)))
+        res_s, _, mem_s = run_module(mod_sparse, args=args)
+        res_d, _, mem_d = run_module(mod_dense, args=args)
+        assert res_s == res_d
+        assert mem_s == mem_d
+
+
+def test_sparse_renumber_is_idempotent():
+    func = parse_function_text(_SPARSE_TEXT)
+    renumber_registers(func)
+    after_first = format_function(func)
+    mapping = renumber_registers(func)
+    assert all(old == new for old, new in mapping.items())
+    assert format_function(func) == after_first
+
+
+@pytest.mark.parametrize("seed", [2, 11, 40])
+def test_random_program_semantics_survive_renumber(seed):
+    module = random_program(seed)
+    baseline = random_program(seed)
+    for func in module:
+        renumber_registers(func)
+    args = random_inputs(seed)
+    res_a, _, mem_a = run_module(module, args=args)
+    res_b, _, mem_b = run_module(baseline, args=args)
+    assert res_a == res_b
+    assert mem_a == mem_b
