@@ -4,17 +4,19 @@ The paper's methodology profiles on training inputs (MinneSPEC) and the
 formation decisions (merge order, peel factors) bake that profile into the
 code.  This bench checks the reproduction's formation is *robust*: code
 formed from one input's profile must stay correct and still beat basic
-blocks when run on different inputs.
+blocks when run on different inputs.  Correctness is asserted through the
+differential-simulation oracle (``repro.robustness.oracle``), which
+compares results, memory, and call traces — the same gate the
+fault-injection tier (``python -m repro.harness bench --faults``) uses to
+prove containment.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.core.convergent import form_module
 from repro.opt.pipeline import optimize_module
 from repro.profiles import collect_profile
-from repro.sim import run_module
+from repro.robustness.oracle import BehaviorProbe, assert_equivalent
 from repro.sim.timing import simulate_cycles
 from repro.workloads.microbench import MICROBENCHMARKS
 
@@ -39,10 +41,7 @@ def test_train_test_input_robustness(benchmark):
         for name, train_args, test_args in CASES:
             workload = MICROBENCHMARKS[name]
             base = workload.module()
-            # Reference semantics on the *test* input.
-            reference = run_module(
-                base.copy(), args=test_args, preload=_preload(workload)
-            )[0]
+            probe = BehaviorProbe(args=test_args, preload=_preload(workload))
             bb = simulate_cycles(
                 base.copy(), args=test_args, preload=_preload(workload)
             ).cycles
@@ -53,10 +52,8 @@ def test_train_test_input_robustness(benchmark):
             formed = base.copy()
             form_module(formed, profile=profile)
             optimize_module(formed)
-            result = run_module(
-                formed.copy(), args=test_args, preload=_preload(workload)
-            )[0]
-            assert result == reference, (name, result, reference)
+            # Behavior on the *test* input must survive formation.
+            assert_equivalent(base, formed, probes=[probe])
             cycles = simulate_cycles(
                 formed, args=test_args, preload=_preload(workload)
             ).cycles
@@ -82,15 +79,10 @@ def test_profile_free_formation_is_safe(benchmark):
         for name, _, test_args in CASES[:3]:
             workload = MICROBENCHMARKS[name]
             base = workload.module()
-            reference = run_module(
-                base.copy(), args=test_args, preload=_preload(workload)
-            )[0]
+            probe = BehaviorProbe(args=test_args, preload=_preload(workload))
             formed = base.copy()
             form_module(formed, profile=ProfileData())
-            result = run_module(
-                formed, args=test_args, preload=_preload(workload)
-            )[0]
-            assert result == reference
+            assert_equivalent(base, formed, probes=[probe])
             checked += 1
         return checked
 

@@ -39,6 +39,12 @@ from repro.core.policies import (
     VLIWPolicy,
     policy_by_name,
 )
+from repro.robustness.guard import (
+    FormationReport,
+    FunctionReport,
+    FunctionStatus,
+    TrialFailure,
+)
 
 __all__ = [
     "BlockEstimate",
@@ -47,12 +53,16 @@ __all__ = [
     "DepthFirstPolicy",
     "FactorPolicy",
     "FormationContext",
+    "FormationReport",
+    "FunctionReport",
+    "FunctionStatus",
     "LookaheadPolicy",
     "LoopFactors",
     "MergeKind",
     "MergePolicy",
     "MergeStats",
     "ORDERINGS",
+    "TrialFailure",
     "TripsConstraints",
     "UNLIMITED",
     "VLIWPolicy",

@@ -8,23 +8,53 @@ header (another peel candidate); merging a block with itself across its
 back edge unrolls an iteration and re-adds the block (another unroll
 candidate).  Expansion stops when no candidate can be merged — the block
 has converged on the structural constraints.
+
+Formation is *fail-safe* by default (``failsafe=True``): every trial runs
+through a transactional :class:`~repro.robustness.guard.TrialGuard`, and
+the drivers return :class:`~repro.robustness.guard.FunctionReport` /
+:class:`~repro.robustness.guard.FormationReport` objects whose per-function
+status is ``ok``, ``degraded`` (some merges skipped after contained
+failures) or ``failed_safe`` (the function was left as its pre-formation
+CFG).  Both report types proxy the :class:`MergeStats` counters, so code
+that only reads ``merges``/``mtup``/``attempts`` keeps working unchanged.
+
+``selfcheck`` arms the differential-simulation oracle
+(:mod:`repro.robustness.oracle`): ``"function"`` re-simulates the module
+after each function forms and rolls a diverging function back to its
+original CFG; ``"commit"`` gates *every committed merge* behind the
+verifier and the oracle (orders of magnitude slower — a debugging mode).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 from repro.analysis.dominators import reverse_postorder
 from repro.core.merge import FormationContext, MergeStats, legal_merge, merge_blocks
 from repro.core.policies import BreadthFirstPolicy, Candidate, MergePolicy
 from repro.ir.function import Function, Module
+from repro.ir.verify import VerificationError, verify_function
 from repro.profiles.data import ProfileData
+from repro.robustness.faultinject import active_plane
+from repro.robustness.guard import (
+    FormationReport,
+    FunctionReport,
+    FunctionStatus,
+    TrialFailure,
+    TrialGuard,
+    adopt_function_state,
+)
 
 
 def expand_block(
     ctx: FormationContext, policy: MergePolicy, hb_name: str
 ) -> int:
-    """Grow the hyperblock seeded at ``hb_name``; return merges performed."""
+    """Grow the hyperblock seeded at ``hb_name``; return merges performed.
+
+    With ``ctx.guard`` set, each trial is transactional: a contained
+    failure counts as a rejection, the ``(seed, candidate)`` pair is
+    blacklisted, and expansion moves on to the next candidate.
+    """
     func = ctx.func
     if hb_name not in func.blocks:
         return 0
@@ -36,6 +66,7 @@ def expand_block(
         candidates.append(Candidate(succ, depth=1, seq=seq))
         seq += 1
 
+    guard = ctx.guard
     merges = 0
     attempts = 0
     limit = ctx.max_merges_per_block
@@ -43,11 +74,16 @@ def expand_block(
         attempts += 1
         index = policy.select(ctx, hb_name, candidates)
         cand = candidates.pop(index)
+        if guard is not None and guard.blocked(func.name, hb_name, cand.name):
+            continue
         if not policy.admits(ctx, hb_name, cand):
             continue
-        if not legal_merge(ctx, hb_name, cand.name):
-            continue
-        new_succs = merge_blocks(ctx, hb_name, cand.name)
+        if guard is None:
+            if not legal_merge(ctx, hb_name, cand.name):
+                continue
+            new_succs = merge_blocks(ctx, hb_name, cand.name)
+        else:
+            new_succs = guard.attempt(ctx, hb_name, cand.name)
         if new_succs is None:
             continue
         merges += 1
@@ -67,7 +103,10 @@ def form_function(
     allow_block_splitting: bool = False,
     fast_path: bool = True,
     record_events: bool = True,
-) -> MergeStats:
+    failsafe: bool = True,
+    guard: Optional[TrialGuard] = None,
+    post_commit: Optional[Callable] = None,
+) -> FunctionReport:
     """Form hyperblocks over every reachable block of ``func``.
 
     Seeds are processed in reverse postorder of the evolving CFG: each
@@ -78,28 +117,95 @@ def form_function(
     trial memoization (the pre-optimization behavior, kept as a benchmark
     control); ``record_events=False`` keeps ``MergeStats.events`` empty for
     module-scale runs that only need the counters.
+
+    With ``failsafe`` (the default) every trial is guarded, the formed
+    function must pass :func:`repro.ir.verify.verify_function`, and *any*
+    escaping exception restores the pre-formation CFG and returns a
+    ``failed_safe`` report instead of raising.  ``failsafe=False`` restores
+    the raw propagate-everything behavior.
     """
     policy = policy or BreadthFirstPolicy()
-    ctx = FormationContext(
-        func,
-        profile=profile,
-        constraints=constraints,
-        optimize_during=optimize_during,
-        allow_head_dup=allow_head_dup,
-        allow_block_splitting=allow_block_splitting,
-        fast_path=fast_path,
-        record_events=record_events,
-    )
-    processed: set[str] = set()
-    while True:
-        seed = _next_seed(ctx, processed)
-        if seed is None:
-            break
-        processed.add(seed)
-        expand_block(ctx, policy, seed)
-    func.remove_unreachable_blocks()
-    ctx.stats.cache = ctx.cache_stats
-    return ctx.stats
+    if guard is None and failsafe:
+        guard = TrialGuard()
+    plane = active_plane()
+    fired_mark = plane.fired_mark() if plane is not None else 0
+    original = func.copy() if guard is not None else None
+    try:
+        ctx = FormationContext(
+            func,
+            profile=profile,
+            constraints=constraints,
+            optimize_during=optimize_during,
+            allow_head_dup=allow_head_dup,
+            allow_block_splitting=allow_block_splitting,
+            fast_path=fast_path,
+            record_events=record_events,
+            guard=guard,
+            post_commit=post_commit,
+        )
+        processed: set[str] = set()
+        while True:
+            seed = _next_seed(ctx, processed)
+            if seed is None:
+                break
+            processed.add(seed)
+            expand_block(ctx, policy, seed)
+        func.remove_unreachable_blocks()
+        ctx.stats.cache = ctx.cache_stats
+        if guard is not None:
+            # Structural post-formation gate: broken IR must never leave
+            # the driver, even if every individual trial looked fine.
+            verify_function(func)
+    except Exception as exc:
+        if guard is None:
+            raise
+        stage = "verify" if isinstance(exc, VerificationError) else "function"
+        failures = guard.failures_for(func.name)
+        failures.append(TrialFailure.from_exception(func, stage, exc))
+        adopt_function_state(func, original)
+        return FunctionReport(
+            func.name,
+            FunctionStatus.FAILED_SAFE,
+            MergeStats(record_events=record_events),
+            failures,
+        )
+    failures = guard.failures_for(func.name) if guard is not None else []
+    if plane is not None:
+        failures.extend(
+            _fired_fault_failures(
+                func.name, plane.fired_since(fired_mark, func.name), failures
+            )
+        )
+    status = FunctionStatus.DEGRADED if failures else FunctionStatus.OK
+    return FunctionReport(func.name, status, ctx.stats, failures)
+
+
+def _fired_fault_failures(
+    func_name: str, fired, existing: list[TrialFailure]
+) -> list[TrialFailure]:
+    """Report entries for injected faults that did not raise (silent
+    corruptions): a function a fault plane touched must never report
+    ``ok``, or containment proofs could not tell "survived" from
+    "missed"."""
+    seen = {(f.fault_kind, f.seed, f.candidate) for f in existing}
+    out = []
+    for fault in fired:
+        key = (fault.kind, fault.seed, fault.candidate)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(
+            TrialFailure(
+                function=func_name,
+                stage="fault",
+                seed=fault.seed,
+                candidate=fault.candidate,
+                error_type="FiredFault",
+                error=f"injected {fault.kind} fault ({fault.site} site)",
+                fault_kind=fault.kind,
+            )
+        )
+    return out
 
 
 def _next_seed(ctx: FormationContext, processed: set[str]) -> Optional[str]:
@@ -133,11 +239,56 @@ def form_module(
     allow_block_splitting: bool = False,
     fast_path: bool = True,
     record_events: bool = True,
-) -> MergeStats:
-    """Run hyperblock formation over every function in the module."""
-    total = MergeStats(record_events=record_events)
+    failsafe: bool = True,
+    selfcheck: Optional[str] = None,
+    oracle_probes: Optional[Sequence] = None,
+) -> FormationReport:
+    """Run hyperblock formation over every function in the module.
+
+    ``selfcheck`` arms the differential-simulation oracle:
+
+    - ``"function"`` (or ``True``) — after each function forms, re-run the
+      module over the oracle probes and compare against the pre-formation
+      baseline; a divergence rolls that function back (``failed_safe``);
+    - ``"commit"`` — additionally gate every committed merge behind
+      ``verify_function`` plus the oracle (debugging mode: very slow, but
+      pins a wrong-code bug to the exact merge that introduced it).
+
+    ``oracle_probes`` is a sequence of
+    :class:`~repro.robustness.oracle.BehaviorProbe` (workload inputs);
+    without it, probes are derived from ``main``'s arity.
+    """
+    if selfcheck is True:
+        selfcheck = "function"
+    if selfcheck not in (None, "function", "commit"):
+        raise ValueError(
+            f"selfcheck must be None, 'function' or 'commit', got {selfcheck!r}"
+        )
+    report = FormationReport(stats=MergeStats(record_events=record_events))
+    probes = baseline = None
+    post_commit = None
+    if selfcheck:
+        from repro.robustness.oracle import (
+            OracleDivergenceError,
+            default_probes,
+            differential_check,
+            snapshot_behavior,
+        )
+
+        probes = list(oracle_probes) if oracle_probes else default_probes(module)
+        baseline = snapshot_behavior(module, probes)
+        if selfcheck == "commit":
+            def post_commit(ctx: FormationContext, hb_name: str) -> None:
+                verify_function(ctx.func)
+                check = differential_check(
+                    module, module, probes=probes, baseline=baseline
+                )
+                if not check.ok:
+                    raise OracleDivergenceError(check)
+
     for func in module:
-        stats = form_function(
+        saved = func.copy() if selfcheck else None
+        freport = form_function(
             func,
             profile=profile,
             policy=policy,
@@ -147,6 +298,31 @@ def form_module(
             allow_block_splitting=allow_block_splitting,
             fast_path=fast_path,
             record_events=record_events,
+            failsafe=failsafe,
+            post_commit=post_commit,
         )
-        total.add(stats)
-    return total
+        if selfcheck and freport.status is not FunctionStatus.FAILED_SAFE:
+            from repro.robustness.oracle import differential_check
+
+            check = differential_check(
+                module, module, probes=probes, baseline=baseline
+            )
+            if not check.ok:
+                adopt_function_state(func, saved)
+                failures = list(freport.failures)
+                failures.append(
+                    TrialFailure(
+                        function=func.name,
+                        stage="oracle",
+                        error_type="OracleDivergence",
+                        error=check.describe(),
+                    )
+                )
+                freport = FunctionReport(
+                    func.name,
+                    FunctionStatus.FAILED_SAFE,
+                    MergeStats(record_events=record_events),
+                    failures,
+                )
+        report.add_function(freport)
+    return report

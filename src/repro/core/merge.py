@@ -31,6 +31,7 @@ from typing import Optional
 from repro.analysis.liveness import Liveness
 from repro.analysis.loops import LoopForest
 from repro.core.constraints import TripsConstraints, estimate_block
+from repro.robustness.faultinject import InjectedFault, active_plane
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
@@ -155,8 +156,18 @@ class FormationContext:
         fast_path: bool = True,
         memoize_trials: Optional[bool] = None,
         record_events: bool = True,
+        guard=None,
+        post_commit=None,
     ):
         self.func = func
+        #: Optional :class:`repro.robustness.guard.TrialGuard`: when set,
+        #: ``expand_block`` routes every trial through it so an escaping
+        #: exception is contained and rolled back instead of propagating.
+        self.guard = guard
+        #: Optional ``(ctx, hb_name) -> None`` hook run after every
+        #: committed merge, *before* the merge is counted — raising here
+        #: (verifier or oracle gate) makes the guard roll the commit back.
+        self.post_commit = post_commit
         self.profile = profile if profile is not None else ProfileData()
         self.constraints = constraints or TripsConstraints()
         self.optimize_during = optimize_during
@@ -506,6 +517,22 @@ def merge_blocks(
     # Scratch-space trial merge (lines 1-6 of MergeBlocks).
     regs_before = func.max_reg()
     preview = merge_preview(func, hb, target, body_source=body_source)
+    # Fault-injection hook (no-op unless a plane is installed; see
+    # repro.robustness.faultinject).  Raising kinds simulate engine crashes
+    # for the trial guard to contain; corrupting kinds plant silent
+    # wrong-code bugs for the differential oracle to catch.
+    plane = active_plane()
+    fault_kind = (
+        plane.trial_fault(func.name, hb_name, s_name)
+        if plane is not None
+        else None
+    )
+    if fault_kind == "optimizer":
+        plane.record("trial", fault_kind, func.name, hb_name, s_name)
+        raise _injected_fault(fault_kind, "optimizer crashed mid-trial")
+    if fault_kind in ("operand", "predicate"):
+        if plane.corrupt(fault_kind, preview):
+            plane.record("trial", fault_kind, func.name, hb_name, s_name)
     if ctx.optimize_during:
         optimize_block(preview, live_out)
     estimate = estimate_block(preview, live_out, ctx.constraints)
@@ -528,6 +555,22 @@ def merge_blocks(
     ):
         func.remove_block(s_name)
         removed = s_name
-    ctx.stats.record(kind, hb_name, s_name)
+    if fault_kind == "commit":
+        # Mid-commit crash: the CFG is already mutated, which is exactly
+        # the state the trial guard's checkpoint must be able to restore.
+        plane.record("trial", fault_kind, func.name, hb_name, s_name)
+        raise _injected_fault(fault_kind, "commit crashed after CFG mutation")
     ctx.note_commit(hb_name, preview, removed, kind)
+    if ctx.post_commit is not None:
+        # Post-commit gate (verifier / differential oracle).  Raising here
+        # happens *before* the merge is counted, so a guard rollback leaves
+        # the stats consistent with the restored IR.
+        ctx.post_commit(ctx, hb_name)
+    ctx.stats.record(kind, hb_name, s_name)
     return candidate_succs
+
+
+def _injected_fault(kind: str, message: str) -> InjectedFault:
+    exc = InjectedFault(f"injected fault: {message}")
+    exc.fault_kind = kind
+    return exc

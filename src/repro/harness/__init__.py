@@ -10,6 +10,7 @@ from repro.harness.experiment import (
 from repro.harness.bench import format_report, run_bench, write_json
 from repro.harness.occupancy import OccupancyReport, occupancy_report
 from repro.harness.parallel import form_many_parallel, form_module_parallel
+from repro.harness.selfcheck import run_fault_drill, run_selfcheck
 from repro.harness.tables import (
     RegressionResult,
     TableResult,
@@ -32,6 +33,8 @@ __all__ = [
     "form_module_parallel",
     "format_report",
     "run_bench",
+    "run_fault_drill",
+    "run_selfcheck",
     "write_json",
     "heuristic_config",
     "ordering_config",

@@ -89,10 +89,17 @@ def prepare_workloads(subset: Optional[list[str]] = None):
     return prepared
 
 
-def _time_sequential(prepared, fast_path: bool, repeat: int):
+def _time_sequential(prepared, fast_path: bool, repeat: int,
+                     failsafe: bool = False):
     """Best-of-``repeat`` wall time; also returns the last run's cache
     counters (aggregated outside the timed window, ``None`` on the legacy
-    path, which keeps no caches)."""
+    path, which keeps no caches).
+
+    ``failsafe`` defaults to *off* here (unlike the drivers): the pinned
+    baselines predate the trial guards, so the raw configurations must
+    keep measuring ungated formation.  The ``guarded`` configuration
+    times ``failsafe=True`` explicitly to price the transaction overhead.
+    """
     from repro.core.merge import FormationCacheStats
 
     best = None
@@ -107,7 +114,7 @@ def _time_sequential(prepared, fast_path: bool, repeat: int):
         for module, profile in modules:
             stats = form_module(
                 module, profile=profile, fast_path=fast_path,
-                record_events=False,
+                record_events=False, failsafe=failsafe,
             )
             total_merges += stats.merges
             total_mtup = tuple(
@@ -151,7 +158,7 @@ def _time_parallel(prepared, workers: Optional[int], repeat: int):
         items = [(w.module(), p) for _, w, p in prepared]
         start = time.perf_counter()
         results = form_many_parallel(
-            items, max_workers=workers, record_events=False
+            items, max_workers=workers, record_events=False, failsafe=False
         )
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
@@ -260,6 +267,14 @@ def run_bench(
             "fast path changed formation results: "
             f"{(fast_merges, mtup)} != {(legacy_merges, legacy_mtup)}"
         )
+    guarded_s, guarded_merges, guarded_mtup, _ = _time_sequential(
+        prepared, True, repeat, failsafe=True
+    )
+    if (guarded_merges, guarded_mtup) != (fast_merges, mtup):
+        raise RuntimeError(
+            "trial guards changed formation results: "
+            f"{(guarded_merges, guarded_mtup)} != {(fast_merges, mtup)}"
+        )
 
     result = {
         "benchmark": "formation",
@@ -269,6 +284,8 @@ def run_bench(
         "sequential_fast_s": round(fast_s, 4),
         "sequential_legacy_s": round(legacy_s, 4),
         "speedup_fast_vs_legacy": round(legacy_s / fast_s, 3),
+        "guarded_s": round(guarded_s, 4),
+        "guard_overhead": round(guarded_s / fast_s, 3),
         "merges": fast_merges,
         "mtup": list(mtup),
         "merges_per_sec": round(fast_merges / fast_s, 1),
@@ -323,6 +340,11 @@ def format_report(result: dict) -> str:
         f"  sequential legacy: {result['sequential_legacy_s']:.4f}s "
         f"(fast is {result['speedup_fast_vs_legacy']:.2f}x)",
     ]
+    if "guarded_s" in result:
+        lines.append(
+            f"  guarded (failsafe): {result['guarded_s']:.4f}s "
+            f"({result['guard_overhead']:.2f}x of fast)"
+        )
     if "speedup_vs_pre_pr" in result:
         lines.append(
             f"  pre-PR baseline:   {result['baseline_pre_pr_s']:.4f}s at "
@@ -391,6 +413,8 @@ def _history_summary(result: dict) -> dict:
     }
     if "parallel_s" in result:
         summary["parallel_s"] = result["parallel_s"]
+    if "guarded_s" in result:
+        summary["guarded_s"] = result["guarded_s"]
     if "scaling" in result:
         summary["scaling"] = [
             {

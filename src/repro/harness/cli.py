@@ -8,6 +8,14 @@ Usage::
     python -m repro.harness figure7
     python -m repro.harness all --out results.txt
     python -m repro.harness bench [--quick] [--json BENCH_formation.json]
+    python -m repro.harness selfcheck [--subset sieve,mcf]
+    python -m repro.harness table1 --selfcheck
+    python -m repro.harness bench --faults [--fault-rate 0.1] [--fault-seed 0]
+
+``selfcheck`` (or the ``--selfcheck`` flag on any target) runs the
+differential-simulation oracle over the suite before the experiment and
+fails the run on any divergence; ``bench --faults`` runs the seeded
+fault-containment drill instead of the timing benchmark.
 """
 
 from __future__ import annotations
@@ -35,8 +43,12 @@ def run(argv: Optional[list[str]] = None) -> str:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "table2", "table3", "figure7", "all", "bench"],
-        help="which experiment to regenerate ('bench' times formation)",
+        choices=[
+            "table1", "table2", "table3", "figure7", "all", "bench",
+            "selfcheck",
+        ],
+        help="which experiment to regenerate ('bench' times formation, "
+        "'selfcheck' runs the differential-simulation oracle)",
     )
     parser.add_argument(
         "--subset",
@@ -73,9 +85,58 @@ def run(argv: Optional[list[str]] = None) -> str:
         help="bench: fail (exit 1) if sequential fast time exceeds this "
         "many seconds",
     )
+    parser.add_argument(
+        "--selfcheck", action="store_true",
+        help="run the differential-simulation oracle over the subset "
+        "before the experiment; exit 1 on any divergence",
+    )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="bench: run the fault-containment drill instead of timing",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.1,
+        help="bench --faults: per-trial fault probability",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="bench --faults: fault-plane seed",
+    )
     args = parser.parse_args(argv)
 
     subset = _parse_subset(args.subset)
+
+    if args.target == "selfcheck" or args.selfcheck:
+        from repro.harness.selfcheck import run_selfcheck
+
+        # Table targets take *microbenchmark* subsets; the oracle runs
+        # over SPEC workloads, so only forward SPEC-speaking subsets.
+        check_subset = subset if args.target in ("selfcheck", "bench") else None
+        check = run_selfcheck(subset=check_subset)
+        if not check["ok"]:
+            print(check["report"], file=sys.stderr)
+            raise SystemExit("selfcheck failed: oracle divergence")
+        if args.target == "selfcheck":
+            report = check["report"]
+            if args.out:
+                with open(args.out, "w") as handle:
+                    handle.write(report + "\n")
+            return report
+
+    if args.target == "bench" and args.faults:
+        from repro.harness.selfcheck import run_fault_drill
+
+        drill = run_fault_drill(
+            subset=subset, rate=args.fault_rate, seed=args.fault_seed
+        )
+        report = drill["report"]
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        if not drill["ok"]:
+            print(report, file=sys.stderr)
+            raise SystemExit("fault drill failed: a fault escaped containment")
+        return report
 
     if args.target == "bench":
         from repro.harness.bench import format_report, run_bench, write_json

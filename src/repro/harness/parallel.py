@@ -1,4 +1,4 @@
-"""Opt-in parallel formation drivers.
+"""Opt-in, crash-resilient parallel formation drivers.
 
 Hyperblock formation is embarrassingly parallel at function (and module)
 granularity: formation never looks across function boundaries, and the
@@ -8,10 +8,30 @@ pure CPython bytecode and holds the GIL.
 
 Determinism: workers are *scheduled* largest-first for load balance, but
 results are accumulated in the caller's original order, so the combined
-:class:`MergeStats` (and the formed IR itself) is bit-identical to a
+:class:`FormationReport` (and the formed IR itself) is bit-identical to a
 sequential run.  Block version stamps are process-local and re-issued on
 unpickle (see ``repro.ir.block``), so shipping functions across the pool
 can never alias an analysis cache in the parent.
+
+Crash resilience mirrors the in-process trial guards one level up — a
+worker failure must cost one task, never the run:
+
+- every task's exception is captured and lands the task ``failed_safe``
+  (the caller keeps its pre-formation IR) with a ``stage="worker"``
+  :class:`TrialFailure` in the report;
+- raising tasks are retried a bounded number of times with exponential
+  backoff before being written off (transient failures recover, a
+  deterministic crash converges to ``failed_safe``);
+- each task gets a wall-clock timeout (``task_timeout``); a stalled
+  worker forfeits its task instead of hanging the driver;
+- a broken pool (:class:`BrokenProcessPool` — a worker died hard) drops
+  the driver into an in-process serial fallback for every task that has
+  not produced a result yet.
+
+An active :class:`~repro.robustness.faultinject.FaultPlane` is shipped to
+workers inside each task payload (pool workers do not inherit the
+parent's installed plane under the ``spawn`` start method), so fault
+drills behave identically under serial and parallel drivers.
 
 Everything here is opt-in: the sequential drivers in
 ``repro.core.convergent`` remain the default, and both drivers below fall
@@ -20,13 +40,26 @@ back to them for trivial inputs or ``max_workers=1``.
 
 from __future__ import annotations
 
+import os
+import time
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
 from repro.core.convergent import form_function, form_module
 from repro.core.merge import MergeStats
 from repro.ir.function import Function, Module
 from repro.profiles.data import ProfileData
+from repro.robustness import faultinject
+from repro.robustness.faultinject import FaultPlane, InjectedFault, active_plane
+from repro.robustness.guard import (
+    FormationReport,
+    FunctionReport,
+    FunctionStatus,
+    TrialFailure,
+)
 
 #: Below this many basic blocks (summed over the input), auto mode
 #: (``max_workers=None``) stays sequential: spawning a process pool costs
@@ -35,6 +68,12 @@ from repro.profiles.data import ProfileData
 #: start-up than they gain from parallelism.  An explicit ``max_workers``
 #: >= 2 always uses the pool.
 AUTO_SERIAL_MAX_BLOCKS = 256
+
+#: Default retry budget for a raising worker task (total attempts =
+#: 1 + DEFAULT_RETRIES) and the base of the exponential backoff between
+#: attempts.
+DEFAULT_RETRIES = 1
+DEFAULT_BACKOFF = 0.05
 
 
 def _total_blocks(modules) -> int:
@@ -50,33 +89,193 @@ def _auto_serial(modules, max_workers: Optional[int]) -> bool:
     return _total_blocks(modules) < AUTO_SERIAL_MAX_BLOCKS
 
 
+# ---------------------------------------------------------------------------
+# Worker-side task bodies (module-level for pickling)
+# ---------------------------------------------------------------------------
+
+
+def _apply_worker_fault(plane: FaultPlane, task_name: str) -> None:
+    """Act out a worker-level fault inside a pool worker."""
+    kind = plane.worker_fault(task_name)
+    if kind is None:
+        return
+    plane.record("worker", kind, task_name)
+    if kind == "stall":
+        time.sleep(plane.stall_seconds)
+        return
+    if kind == "kill":
+        os._exit(13)  # die without cleanup: breaks the whole pool
+    exc = InjectedFault(f"injected worker fault in task {task_name!r}")
+    exc.fault_kind = kind
+    raise exc
+
+
 def _form_one(payload):
     """Worker: form a single pickled function; module-level for pickling."""
-    func, profile, kwargs = payload
-    stats = form_function(func, profile=profile, **kwargs)
-    return func, stats
+    func, profile, kwargs, plane = payload
+    if plane is not None:
+        faultinject.install(plane)
+        _apply_worker_fault(plane, func.name)
+    try:
+        report = form_function(func, profile=profile, **kwargs)
+    finally:
+        if plane is not None:
+            faultinject.clear()
+    return func, report
 
 
 def _form_module_task(payload):
     """Worker: form a whole pickled module; module-level for pickling."""
-    module, profile, kwargs = payload
-    stats = form_module(module, profile=profile, **kwargs)
-    return module, stats
+    module, profile, kwargs, plane = payload
+    if plane is not None:
+        faultinject.install(plane)
+        _apply_worker_fault(plane, module.name)
+    try:
+        report = form_module(module, profile=profile, **kwargs)
+    finally:
+        if plane is not None:
+            faultinject.clear()
+    return module, report
+
+
+# ---------------------------------------------------------------------------
+# Parent-side task supervision
+# ---------------------------------------------------------------------------
+
+
+def _worker_failure(task_name: str, stage_error: BaseException) -> TrialFailure:
+    tb = "".join(
+        _traceback.format_exception(stage_error)
+    ).strip()
+    return TrialFailure(
+        function=task_name,
+        stage="worker",
+        error_type=type(stage_error).__name__,
+        error=str(stage_error) or type(stage_error).__name__,
+        traceback=tb[-2000:],
+        fault_kind=getattr(stage_error, "fault_kind", None),
+    )
+
+
+def _failed_safe_report(
+    name: str, failure: TrialFailure, record_events: bool
+) -> FunctionReport:
+    return FunctionReport(
+        name,
+        FunctionStatus.FAILED_SAFE,
+        MergeStats(record_events=record_events),
+        [failure],
+    )
+
+
+class _TaskSupervisor:
+    """Runs payloads on a pool with retry, timeout and failure capture.
+
+    ``results[key]`` ends up either ``("ok", worker_result)`` or
+    ``("failed", TrialFailure)``.  A :class:`BrokenProcessPool` escapes to
+    the caller (the pool is unusable — remaining tasks need the serial
+    fallback); every other exception is contained here.
+    """
+
+    def __init__(self, pool, task_fn, timeout, retries, backoff):
+        self.pool = pool
+        self.task_fn = task_fn
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.futures = {}
+        self.payloads = {}
+        self.results = {}
+
+    def submit(self, key, task_name: str, payload) -> None:
+        self.payloads[key] = (task_name, payload)
+        self.futures[key] = self.pool.submit(self.task_fn, payload)
+
+    def resolve(self, key) -> None:
+        """Block until ``key`` has a result (retrying as needed)."""
+        if key in self.results:
+            return
+        task_name, payload = self.payloads[key]
+        attempt = 0
+        while True:
+            try:
+                self.results[key] = ("ok", self.futures[key].result(self.timeout))
+                return
+            except BrokenProcessPool:
+                raise  # pool is dead; caller falls back to serial
+            except FuturesTimeout as exc:
+                # The worker is stuck mid-task and still owns its pool
+                # slot; resubmitting a deterministic stall would only
+                # stall again, so timeouts are not retried.
+                timeout_exc = TimeoutError(
+                    f"task {task_name!r} exceeded {self.timeout}s wall clock"
+                )
+                timeout_exc.__cause__ = exc
+                self.results[key] = ("failed", _worker_failure(task_name, timeout_exc))
+                return
+            except Exception as exc:
+                if attempt >= self.retries:
+                    self.results[key] = ("failed", _worker_failure(task_name, exc))
+                    return
+                time.sleep(self.backoff * (2**attempt))
+                attempt += 1
+                self.futures[key] = self.pool.submit(self.task_fn, payload)
+
+    def unresolved(self) -> list:
+        return [key for key in self.payloads if key not in self.results]
+
+
+def _serial_fallback_report(
+    func: Function,
+    profile: Optional[ProfileData],
+    form_kwargs: dict,
+    plane: Optional[FaultPlane],
+    record_events: bool,
+) -> FunctionReport:
+    """Form one function in-process after the pool broke.
+
+    Worker-level fault kinds cannot be acted out in the parent (``kill``
+    would take the driver down with it); any armed worker fault simply
+    lands the task ``failed_safe`` un-formed, exactly what it converged to
+    under the pool.
+    """
+    if plane is not None:
+        kind = plane.worker_fault(func.name)
+        if kind is not None:
+            plane.record("worker", kind, func.name)
+            exc = InjectedFault(
+                f"injected worker fault in task {func.name!r} (serial fallback)"
+            )
+            exc.fault_kind = kind
+            return _failed_safe_report(
+                func.name, _worker_failure(func.name, exc), record_events
+            )
+    return form_function(func, profile=profile, **form_kwargs)
 
 
 def form_module_parallel(
     module: Module,
     profile: Optional[ProfileData] = None,
     max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
     **form_kwargs,
-) -> MergeStats:
+) -> FormationReport:
     """Form every function of ``module`` across a process pool.
 
     ``form_kwargs`` are forwarded to :func:`form_function` (``constraints``,
     ``policy``, ``fast_path``, ``record_events``, ...) and must be picklable.
     The module's functions are replaced in place by their formed versions;
-    the returned stats accumulate per-function stats in module order, so
-    the result is identical to :func:`form_module` on the same input.
+    the returned :class:`FormationReport` accumulates per-function reports
+    in module order, so the result is identical to :func:`form_module` on
+    the same input.
+
+    A worker failure (exception after ``retries`` attempts, ``task_timeout``
+    exceeded, or a worker death breaking the pool) costs only its own task:
+    the function keeps its pre-formation CFG and lands ``failed_safe`` in
+    the report while its siblings form normally.  After a broken pool,
+    unfinished tasks run in-process instead.
 
     Falls back to the sequential driver when the module has at most one
     function, when ``max_workers == 1``, or — in auto mode
@@ -89,57 +288,177 @@ def form_module_parallel(
     if len(names) <= 1 or _auto_serial((module,), max_workers):
         return form_module(module, profile=profile, **form_kwargs)
 
+    plane = active_plane()
     # Schedule biggest functions first so the pool drains evenly.
     order = sorted(names, key=lambda n: (-module.functions[n].size(), n))
-    futures = {}
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    report = FormationReport(stats=MergeStats(record_events=record_events))
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        supervisor = _TaskSupervisor(
+            pool, _form_one, task_timeout, retries, backoff
+        )
         for name in order:
-            payload = (module.functions[name], profile, form_kwargs)
-            futures[name] = pool.submit(_form_one, payload)
-        results = {name: futures[name].result() for name in names}
+            supervisor.submit(
+                name, name, (module.functions[name], profile, form_kwargs, plane)
+            )
+        try:
+            for name in names:
+                supervisor.resolve(name)
+        except BrokenProcessPool as exc:
+            _absorb_broken_pool(supervisor, exc)
+    finally:
+        # No ``with`` block: its exit would re-join the workers and a
+        # stalled task would hold the driver hostage past its timeout.
+        pool.shutdown(wait=False, cancel_futures=True)
 
-    total = MergeStats(record_events=record_events)
     for name in names:  # accumulate in module order, not completion order
-        formed, stats = results[name]
-        module.functions[name] = formed
-        total.add(stats)
-    return total
+        status, value = supervisor.results[name]
+        if status == "failed":
+            if _is_broken_pool_failure(value):
+                freport = _serial_fallback_report(
+                    module.functions[name], profile, form_kwargs, plane,
+                    record_events,
+                )
+            else:
+                freport = _failed_safe_report(name, value, record_events)
+        else:
+            formed, freport = value
+            module.functions[name] = formed
+        report.add_function(freport)
+    return report
+
+
+def _is_broken_pool_failure(failure: TrialFailure) -> bool:
+    return failure.error_type == "BrokenProcessPool"
+
+
+def _absorb_broken_pool(supervisor: _TaskSupervisor, exc: BaseException) -> None:
+    """Mark every unresolved task as a broken-pool casualty.
+
+    The pool cannot run anything anymore; pending futures would all raise
+    the same :class:`BrokenProcessPool`.  The driver re-runs these tasks
+    in-process afterwards.
+    """
+    for key in supervisor.unresolved():
+        task_name, _ = supervisor.payloads[key]
+        supervisor.results[key] = ("failed", _worker_failure(task_name, exc))
 
 
 def form_many_parallel(
     items: Sequence[tuple[Module, Optional[ProfileData]]],
     max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: float = DEFAULT_BACKOFF,
     **form_kwargs,
-) -> list[tuple[Module, MergeStats]]:
+) -> list[tuple[Module, FormationReport]]:
     """Form many independent (module, profile) pairs across a process pool.
 
     This is the shape benchmark suites have — many small modules — where
     per-function fan-out would starve the pool.  Returns ``(formed module,
-    stats)`` pairs in input order.  Note the *returned* modules are the
+    report)`` pairs in input order.  Note the *returned* modules are the
     formed ones (round-tripped through the pool); the caller's input
     modules are left untouched.
+
+    A failed module task returns the caller's *original* module with a
+    report marking every function ``failed_safe``; a broken pool re-runs
+    the unfinished modules in-process.
 
     Auto mode (``max_workers=None``) stays sequential below
     ``AUTO_SERIAL_MAX_BLOCKS`` total basic blocks, like
     :func:`form_module_parallel`.
     """
+    record_events = form_kwargs.get("record_events", True)
     if len(items) <= 1 or _auto_serial(
         (module for module, _ in items), max_workers
     ):
         out = []
         for module, profile in items:
-            stats = form_module(module, profile=profile, **form_kwargs)
-            out.append((module, stats))
+            report = form_module(module, profile=profile, **form_kwargs)
+            out.append((module, report))
         return out
 
+    plane = active_plane()
     indexed = sorted(
         range(len(items)), key=lambda i: (-items[i][0].size(), items[i][0].name)
     )
-    futures = {}
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        supervisor = _TaskSupervisor(
+            pool, _form_module_task, task_timeout, retries, backoff
+        )
         for i in indexed:
             module, profile = items[i]
-            futures[i] = pool.submit(
-                _form_module_task, (module, profile, form_kwargs)
+            supervisor.submit(i, module.name, (module, profile, form_kwargs, plane))
+        try:
+            for i in range(len(items)):
+                supervisor.resolve(i)
+        except BrokenProcessPool as exc:
+            _absorb_broken_pool(supervisor, exc)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    out = []
+    for i in range(len(items)):
+        status, value = supervisor.results[i]
+        if status == "failed":
+            # Copy before fallback: the caller's input modules stay
+            # untouched on every path, like the pooled round-trip.
+            module = items[i][0].copy()
+            profile = items[i][1]
+            if _is_broken_pool_failure(value):
+                out.append(
+                    (module, _module_serial_fallback(
+                        module, profile, form_kwargs, plane, record_events
+                    ))
+                )
+            else:
+                out.append(
+                    (module, _module_failed_safe(module, value, record_events))
+                )
+        else:
+            out.append(value)
+    return out
+
+
+def _module_failed_safe(
+    module: Module, failure: TrialFailure, record_events: bool
+) -> FormationReport:
+    """Report for a module whose worker task was written off entirely."""
+    report = FormationReport(stats=MergeStats(record_events=record_events))
+    for func in module:
+        per_func = TrialFailure(
+            function=func.name,
+            stage=failure.stage,
+            error_type=failure.error_type,
+            error=failure.error,
+            traceback=failure.traceback,
+            fault_kind=failure.fault_kind,
+        )
+        report.add_function(
+            _failed_safe_report(func.name, per_func, record_events)
+        )
+    return report
+
+
+def _module_serial_fallback(
+    module: Module,
+    profile: Optional[ProfileData],
+    form_kwargs: dict,
+    plane: Optional[FaultPlane],
+    record_events: bool,
+) -> FormationReport:
+    """Re-form a module in-process after a broken pool (see
+    :func:`_serial_fallback_report` for the worker-fault handling)."""
+    if plane is not None:
+        kind = plane.worker_fault(module.name)
+        if kind is not None:
+            plane.record("worker", kind, module.name)
+            exc = InjectedFault(
+                f"injected worker fault in task {module.name!r} (serial fallback)"
             )
-        return [futures[i].result() for i in range(len(items))]
+            exc.fault_kind = kind
+            return _module_failed_safe(
+                module, _worker_failure(module.name, exc), record_events
+            )
+    return form_module(module, profile=profile, **form_kwargs)

@@ -27,6 +27,7 @@ from repro.ir.instruction import Instruction, Predicate
 from repro.ir.regmask import as_mask
 from repro.ir.opcodes import COMMUTATIVE_OPS, PURE_OPS, Opcode
 from repro.ir.semantics import EVAL_BINOP as _BINOPS
+from repro.ir.semantics import EvaluationError
 
 # Opcode sets inlined into the pass loops below: these run once per
 # *attempted* merge during formation, and the per-instruction `is_pure`
@@ -152,7 +153,11 @@ def propagate_and_fold(block: BasicBlock) -> bool:
                 ):
                     try:
                         value = folder(consts[srcs[0]], consts[srcs[1]])
-                    except Exception:
+                    except (EvaluationError, ArithmeticError, ValueError):
+                        # Division by a constant zero, negative shift:
+                        # legitimately unfoldable — the operation keeps its
+                        # runtime semantics.  Anything else is an optimizer
+                        # bug and must reach the trial guard, not vanish.
                         value = None
                     if value is not None:
                         instr.op = MOVI

@@ -73,6 +73,9 @@ class Interpreter:
     Args:
         module: the program.
         max_blocks: abort after this many dynamic block executions.
+        max_steps: abort after this many dynamic instruction events
+            (executed + nullified); bounds runaway straight-line code the
+            same way ``max_blocks`` bounds runaway control flow.
         trace: optional callback ``(func_name, block_name, fired_instr,
             depth, nullified)`` invoked after each block execution;
             ``fired_instr`` is the branch :class:`Instruction` that fired
@@ -87,10 +90,12 @@ class Interpreter:
         self,
         module: Module,
         max_blocks: int = 5_000_000,
+        max_steps: int = 100_000_000,
         trace: Optional[Callable[[str, str, Instruction, int, tuple], None]] = None,
     ):
         self.module = module
         self.max_blocks = max_blocks
+        self.max_steps = max_steps
         self.trace = trace
         self.memory: dict[int, object] = {}
         self.stats = SimStats()
@@ -178,6 +183,11 @@ class Interpreter:
                 stats.blocks_executed += 1
                 if stats.blocks_executed > self.max_blocks:
                     raise SimulationError("dynamic block limit exceeded")
+                if (
+                    stats.instrs_executed + stats.instrs_nullified
+                    > self.max_steps
+                ):
+                    raise SimulationError("dynamic step limit exceeded")
                 key = (func_name, block_name)
                 stats.block_counts[key] = stats.block_counts.get(key, 0) + 1
                 fired: Optional[Instruction] = None
@@ -258,9 +268,10 @@ def run_module(
     args: tuple = (),
     preload: Optional[dict[int, list]] = None,
     max_blocks: int = 5_000_000,
+    max_steps: int = 100_000_000,
 ) -> tuple[object, SimStats, dict[int, object]]:
     """Convenience wrapper: run ``main`` and return (result, stats, memory)."""
-    interp = Interpreter(module, max_blocks=max_blocks)
+    interp = Interpreter(module, max_blocks=max_blocks, max_steps=max_steps)
     if preload:
         for base, values in preload.items():
             interp.preload(base, values)

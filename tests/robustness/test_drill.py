@@ -1,0 +1,32 @@
+"""Suite-level containment drill and oracle selfcheck (the CI gates)."""
+
+from __future__ import annotations
+
+from repro.harness.selfcheck import run_fault_drill, run_selfcheck
+
+#: A loop-heavy / branch-heavy / call-heavy slice of the suite: the full
+#: 19-workload drill runs in the dedicated CI job, not per-test.
+SUBSET = ["ammp", "crafty", "mcf", "vortex"]
+
+
+def test_fault_drill_contains_every_injected_fault():
+    drill = run_fault_drill(subset=SUBSET, rate=0.1, seed=0)
+    assert drill["ok"], drill["report"]
+    fired = sum(row["fired"] for row in drill["rows"])
+    assert fired > 0, "a 10% plane must fire somewhere on this subset"
+    for row in drill["rows"]:
+        assert row["escaped"] == []
+        assert row["clean_mismatch"] == []
+        assert row["oracle_ok"]
+
+
+def test_fault_drill_is_seed_deterministic():
+    a = run_fault_drill(subset=["mcf"], rate=0.2, seed=9)
+    b = run_fault_drill(subset=["mcf"], rate=0.2, seed=9)
+    assert a["rows"] == b["rows"]
+
+
+def test_selfcheck_passes_and_drivers_agree():
+    check = run_selfcheck(subset=SUBSET, workers=2)
+    assert check["ok"], check["report"]
+    assert all(row["divergences"] == 0 for row in check["rows"])

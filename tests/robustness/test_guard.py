@@ -1,0 +1,154 @@
+"""Trial guards contain any exception; formation degrades, never crashes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.convergent import form_function, form_module
+from repro.core.policies import BreadthFirstPolicy
+from repro.ir.printer import format_function, format_module
+from repro.profiles import collect_profile
+from repro.robustness.faultinject import FaultPlane, InjectedFault, injected
+from repro.robustness.guard import FunctionStatus
+from repro.robustness.oracle import assert_equivalent
+from repro.workloads.generators import random_program
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+ALL_RAISING = FaultPlane(rate=1.0, seed=0, kinds=("optimizer",))
+
+
+def _workload(name="mcf"):
+    workload = SPEC_BENCHMARKS[name]
+    module = workload.module()
+    profile = collect_profile(
+        workload.module(), args=workload.args, preload=workload.preload
+    )
+    return workload, module, profile
+
+
+def test_every_trial_raising_leaves_the_function_unformed_but_alive():
+    workload, module, profile = _workload()
+    pristine = format_module(workload.module())
+    with injected(ALL_RAISING):
+        report = form_module(module, profile=profile)
+    # Every merge trial crashed; the guard contained each one.
+    assert report.stats.merges == 0
+    assert format_module(module) == pristine
+    for func_report in report.functions.values():
+        assert func_report.status is not FunctionStatus.OK
+        assert func_report.failures
+        failure = func_report.failures[0]
+        assert failure.error_type == "InjectedFault"
+        assert failure.stage == "trial"
+        assert failure.seed is not None and failure.candidate is not None
+        assert failure.ir_hash
+        assert failure.fault_kind == "optimizer"
+    assert_equivalent(workload.module(), module)
+
+
+def test_commit_stage_fault_rolls_back_the_mutated_cfg():
+    """The hardest rollback: the fault fires *after* the CFG was mutated."""
+    workload, module, profile = _workload("gzip")
+    pristine = format_module(workload.module())
+    plane = FaultPlane(rate=1.0, seed=0, kinds=("commit",))
+    with injected(plane):
+        report = form_module(module, profile=profile)
+    assert report.stats.merges == 0
+    assert format_module(module) == pristine
+    assert plane.fired  # the commit faults really fired mid-commit
+    assert_equivalent(workload.module(), module)
+
+
+def test_failsafe_off_propagates_the_fault():
+    workload, module, profile = _workload()
+    with injected(ALL_RAISING):
+        with pytest.raises(InjectedFault):
+            form_module(module, profile=profile, failsafe=False)
+
+
+def test_partial_faults_degrade_and_blacklist_only_the_hit_pairs():
+    workload, module, profile = _workload("crafty")
+    control = workload.module()
+    control_report = form_module(control, profile=profile)
+    plane = FaultPlane(rate=0.25, seed=3, kinds=("optimizer",))
+    with injected(plane):
+        report = form_module(module, profile=profile)
+    assert plane.fired, "rate 0.25 must fire on this workload"
+    # Faults cost merges but never the function.
+    assert 0 < report.stats.merges <= control_report.stats.merges
+    for func_report in report.functions.values():
+        assert func_report.status in (
+            FunctionStatus.OK, FunctionStatus.DEGRADED
+        )
+    hit = {f.function for f in plane.fired}
+    assert set(report.degraded_functions) == hit
+    assert_equivalent(workload.module(), module)
+
+
+def test_escaping_policy_error_fails_safe_and_restores_the_function():
+    class _BombPolicy(BreadthFirstPolicy):
+        def select(self, ctx, hb_name, candidates):
+            raise RuntimeError("policy exploded outside any trial")
+
+    func = random_program(6).function("main")
+    pristine = format_function(func)
+    report = form_function(func, policy=_BombPolicy())
+    assert report.status is FunctionStatus.FAILED_SAFE
+    assert format_function(func) == pristine
+    assert report.failures[-1].stage == "function"
+    assert report.failures[-1].error_type == "RuntimeError"
+    assert report.stats.merges == 0
+
+
+def test_failed_safe_function_does_not_sink_its_module_siblings():
+    from repro.ir.function import Module
+
+    module = Module("combo")
+    for i, seed in enumerate((3, 5, 8)):
+        func = random_program(seed).function("main")
+        func.name = f"f{i}"
+        module.add_function(func)
+    plane = FaultPlane(
+        rate=1.0, seed=0, kinds=("optimizer",), functions=frozenset({"f1"})
+    )
+    control = Module("combo")
+    for i, seed in enumerate((3, 5, 8)):
+        func = random_program(seed).function("main")
+        func.name = f"f{i}"
+        control.add_function(func)
+    control_report = form_module(control)
+    with injected(plane):
+        report = form_module(module)
+    assert report.status_of("f1") is not FunctionStatus.OK
+    for name in ("f0", "f2"):
+        assert report.status_of(name) is FunctionStatus.OK
+        assert format_function(module.functions[name]) == format_function(
+            control.functions[name]
+        )
+        assert report.functions[name].stats.mtup == (
+            control_report.functions[name].stats.mtup
+        )
+
+
+def test_reports_proxy_merge_stats_counters():
+    workload, module, profile = _workload()
+    report = form_module(module, profile=profile)
+    assert report.mtup == report.stats.mtup
+    assert report.merges == report.stats.merges
+    assert report.attempts == report.stats.attempts
+    assert report.rejected_illegal == report.stats.rejected_illegal
+    assert report.all_ok
+    assert report.failures == []
+    summary = report.summary()
+    for name, (status, mtup) in summary.items():
+        assert status == "ok"
+        assert mtup == report.functions[name].stats.mtup
+
+
+def test_guarded_formation_matches_unguarded_formation():
+    seq = random_program(9)
+    guarded = random_program(9)
+    raw_report = form_module(seq, failsafe=False)
+    guarded_report = form_module(guarded)  # failsafe on by default
+    assert guarded_report.stats.mtup == raw_report.stats.mtup
+    assert format_module(guarded) == format_module(seq)
