@@ -74,6 +74,16 @@ UNLIMITED = TripsConstraints(
 )
 
 
+#: Structural-constraint identifiers used in ``violation_kinds`` (and in
+#: trace ``reject`` events): which of the TRIPS block limits fired.
+CONSTRAINT_INSTRUCTIONS = "instructions"
+CONSTRAINT_MEMORY_OPS = "memory_ops"
+CONSTRAINT_REG_READS = "register_reads"
+CONSTRAINT_REG_WRITES = "register_writes"
+CONSTRAINT_BANK_READS = "bank_reads"
+CONSTRAINT_BANK_WRITES = "bank_writes"
+
+
 @dataclass
 class BlockEstimate:
     """Sizing of one block against :class:`TripsConstraints`."""
@@ -90,6 +100,9 @@ class BlockEstimate:
     bank_reads: dict[int, int] = field(default_factory=dict)
     bank_writes: dict[int, int] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
+    #: structural identifier per entry of ``violations`` (same order):
+    #: one of the ``CONSTRAINT_*`` names above.
+    violation_kinds: list[str] = field(default_factory=list)
 
     @property
     def total_instructions(self) -> int:
@@ -103,6 +116,24 @@ class BlockEstimate:
     @property
     def legal(self) -> bool:
         return not self.violations
+
+    def violate(self, kind: str, message: str) -> None:
+        """Record one constraint violation with its structural kind."""
+        self.violations.append(message)
+        self.violation_kinds.append(kind)
+
+    def as_attrs(self) -> dict:
+        """Estimator values as flat, JSON-safe trace-event attributes."""
+        return {
+            "real_instructions": self.real_instructions,
+            "fanout_instructions": self.fanout_instructions,
+            "null_writes": self.null_writes,
+            "null_stores": self.null_stores,
+            "total_instructions": self.total_instructions,
+            "memory_ops": self.memory_ops,
+            "reg_reads": self.reg_reads,
+            "reg_writes": self.reg_writes,
+        }
 
 
 def estimate_block(
@@ -182,14 +213,16 @@ def estimate_block(
 
     # Violations.
     if est.total_instructions > constraints.max_instructions:
-        est.violations.append(
+        est.violate(
+            CONSTRAINT_INSTRUCTIONS,
             f"instructions {est.total_instructions} > "
-            f"{constraints.max_instructions}"
+            f"{constraints.max_instructions}",
         )
     mem_total = est.memory_ops + est.null_stores
     if mem_total > constraints.max_memory_ops:
-        est.violations.append(
-            f"memory ops {mem_total} > {constraints.max_memory_ops}"
+        est.violate(
+            CONSTRAINT_MEMORY_OPS,
+            f"memory ops {mem_total} > {constraints.max_memory_ops}",
         )
     if constraints.strict_banking:
         bank_of = constraints.bank_of
@@ -203,22 +236,27 @@ def estimate_block(
             bank_writes[bank] = bank_writes.get(bank, 0) + 1
         for bank, count in bank_reads.items():
             if count > constraints.reads_per_bank:
-                est.violations.append(
-                    f"bank {bank} reads {count} > {constraints.reads_per_bank}"
+                est.violate(
+                    CONSTRAINT_BANK_READS,
+                    f"bank {bank} reads {count} > {constraints.reads_per_bank}",
                 )
         for bank, count in bank_writes.items():
             if count > constraints.writes_per_bank:
-                est.violations.append(
-                    f"bank {bank} writes {count} > {constraints.writes_per_bank}"
+                est.violate(
+                    CONSTRAINT_BANK_WRITES,
+                    f"bank {bank} writes {count} > "
+                    f"{constraints.writes_per_bank}",
                 )
     else:
         if est.reg_reads > constraints.max_reads:
-            est.violations.append(
-                f"register reads {est.reg_reads} > {constraints.max_reads}"
+            est.violate(
+                CONSTRAINT_REG_READS,
+                f"register reads {est.reg_reads} > {constraints.max_reads}",
             )
         if est.reg_writes > constraints.max_writes:
-            est.violations.append(
-                f"register writes {est.reg_writes} > {constraints.max_writes}"
+            est.violate(
+                CONSTRAINT_REG_WRITES,
+                f"register writes {est.reg_writes} > {constraints.max_writes}",
             )
     return est
 

@@ -32,6 +32,7 @@ from typing import Callable, Optional, Sequence
 from repro.analysis.dominators import reverse_postorder
 from repro.core.merge import FormationContext, MergeStats, legal_merge, merge_blocks
 from repro.core.policies import BreadthFirstPolicy, Candidate, MergePolicy
+from repro.obs.trace import active_tracer
 from repro.ir.function import Function, Module
 from repro.ir.verify import VerificationError, verify_function
 from repro.profiles.data import ProfileData
@@ -54,10 +55,29 @@ def expand_block(
     With ``ctx.guard`` set, each trial is transactional: a contained
     failure counts as a rejection, the ``(seed, candidate)`` pair is
     blacklisted, and expansion moves on to the next candidate.
+
+    With a tracer installed the expansion is an ``expand`` span: every
+    candidate the policy selects is an ``offer`` event, and offers turned
+    away before the trial carry a ``reject`` event naming why
+    (``blacklisted``, ``policy``, ``illegal``).
     """
-    func = ctx.func
-    if hb_name not in func.blocks:
+    if hb_name not in ctx.func.blocks:
         return 0
+    tracer = ctx.tracer
+    if tracer is None:
+        return _expand_block(ctx, policy, hb_name, None)
+    with tracer.span(
+        "expand", function=ctx.func.name, seed=hb_name
+    ) as span:
+        merges = _expand_block(ctx, policy, hb_name, tracer)
+        span.set(merges=merges)
+        return merges
+
+
+def _expand_block(
+    ctx: FormationContext, policy: MergePolicy, hb_name: str, tracer
+) -> int:
+    func = ctx.func
     policy.begin_block(ctx, hb_name)
     seq = 0
     candidates: list[Candidate] = []
@@ -74,12 +94,46 @@ def expand_block(
         attempts += 1
         index = policy.select(ctx, hb_name, candidates)
         cand = candidates.pop(index)
+        if tracer is not None:
+            tracer.event(
+                "offer",
+                function=func.name,
+                hb=hb_name,
+                target=cand.name,
+                depth=cand.depth,
+                seq=cand.seq,
+            )
         if guard is not None and guard.blocked(func.name, hb_name, cand.name):
+            if tracer is not None:
+                tracer.event(
+                    "reject",
+                    function=func.name,
+                    hb=hb_name,
+                    target=cand.name,
+                    reason="blacklisted",
+                )
             continue
         if not policy.admits(ctx, hb_name, cand):
+            if tracer is not None:
+                tracer.event(
+                    "reject",
+                    function=func.name,
+                    hb=hb_name,
+                    target=cand.name,
+                    reason="policy",
+                    policy=policy.name,
+                )
             continue
         if guard is None:
             if not legal_merge(ctx, hb_name, cand.name):
+                if tracer is not None:
+                    tracer.event(
+                        "reject",
+                        function=func.name,
+                        hb=hb_name,
+                        target=cand.name,
+                        reason="illegal",
+                    )
                 continue
             new_succs = merge_blocks(ctx, hb_name, cand.name)
         else:
@@ -124,6 +178,37 @@ def form_function(
     ``failed_safe`` report instead of raising.  ``failsafe=False`` restores
     the raw propagate-everything behavior.
     """
+    tracer = active_tracer()
+    if tracer is not None:
+        with tracer.span("function", function=func.name) as span:
+            report = _form_function_impl(
+                func, profile, policy, constraints, optimize_during,
+                allow_head_dup, allow_block_splitting, fast_path,
+                record_events, failsafe, guard, post_commit,
+            )
+            span.set(status=report.status.value, merges=report.stats.merges)
+            return report
+    return _form_function_impl(
+        func, profile, policy, constraints, optimize_during, allow_head_dup,
+        allow_block_splitting, fast_path, record_events, failsafe, guard,
+        post_commit,
+    )
+
+
+def _form_function_impl(
+    func: Function,
+    profile: Optional[ProfileData],
+    policy: Optional[MergePolicy],
+    constraints,
+    optimize_during: bool,
+    allow_head_dup: bool,
+    allow_block_splitting: bool,
+    fast_path: bool,
+    record_events: bool,
+    failsafe: bool,
+    guard: Optional[TrialGuard],
+    post_commit: Optional[Callable],
+) -> FunctionReport:
     policy = policy or BreadthFirstPolicy()
     if guard is None and failsafe:
         guard = TrialGuard()
@@ -258,6 +343,38 @@ def form_module(
     :class:`~repro.robustness.oracle.BehaviorProbe` (workload inputs);
     without it, probes are derived from ``main``'s arity.
     """
+    tracer = active_tracer()
+    if tracer is not None:
+        with tracer.span("module", module=module.name) as span:
+            report = _form_module_impl(
+                module, profile, policy, constraints, optimize_during,
+                allow_head_dup, allow_block_splitting, fast_path,
+                record_events, failsafe, selfcheck, oracle_probes, tracer,
+            )
+            span.set(merges=report.stats.merges)
+            return report
+    return _form_module_impl(
+        module, profile, policy, constraints, optimize_during,
+        allow_head_dup, allow_block_splitting, fast_path, record_events,
+        failsafe, selfcheck, oracle_probes, None,
+    )
+
+
+def _form_module_impl(
+    module: Module,
+    profile: Optional[ProfileData],
+    policy: Optional[MergePolicy],
+    constraints,
+    optimize_during: bool,
+    allow_head_dup: bool,
+    allow_block_splitting: bool,
+    fast_path: bool,
+    record_events: bool,
+    failsafe: bool,
+    selfcheck: Optional[str],
+    oracle_probes: Optional[Sequence],
+    tracer,
+) -> FormationReport:
     if selfcheck is True:
         selfcheck = "function"
     if selfcheck not in (None, "function", "commit"):
@@ -304,9 +421,15 @@ def form_module(
         if selfcheck and freport.status is not FunctionStatus.FAILED_SAFE:
             from repro.robustness.oracle import differential_check
 
-            check = differential_check(
-                module, module, probes=probes, baseline=baseline
-            )
+            if tracer is None:
+                check = differential_check(
+                    module, module, probes=probes, baseline=baseline
+                )
+            else:
+                with tracer.phase("oracle", function=func.name):
+                    check = differential_check(
+                        module, module, probes=probes, baseline=baseline
+                    )
             if not check.ok:
                 adopt_function_state(func, saved)
                 failures = list(freport.failures)

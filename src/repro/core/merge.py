@@ -31,6 +31,8 @@ from typing import Optional
 from repro.analysis.liveness import Liveness
 from repro.analysis.loops import LoopForest
 from repro.core.constraints import TripsConstraints, estimate_block
+from repro.obs.sink import DEFAULT_RING_CAPACITY
+from repro.obs.trace import active_tracer
 from repro.robustness.faultinject import InjectedFault, active_plane
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
@@ -47,9 +49,11 @@ class MergeKind(enum.Enum):
     UNROLL = "unroll"
 
 
-#: Safety valve for the event log: even with ``record_events`` on, stop
-#: appending past this many events (far beyond any real formation run).
-MAX_RECORDED_EVENTS = 1_000_000
+#: Deprecated alias: the event log is now bounded by
+#: ``MergeStats.events_capacity`` (default = the trace ring sink's
+#: capacity) and overflow is *counted* in ``trace_dropped_events``
+#: instead of silently discarded.  Kept for old importers only.
+MAX_RECORDED_EVENTS = DEFAULT_RING_CAPACITY
 
 
 @dataclass
@@ -82,11 +86,17 @@ class FormationCacheStats:
 
 @dataclass
 class MergeStats:
-    """The paper's m/t/u/p counters plus a detailed event log.
+    """The paper's m/t/u/p counters plus a compatibility event view.
 
-    The event log grows with every committed merge; callers that form at
-    module scale and only need the counters can pass ``record_events=False``
-    (threaded through ``form_function``/``form_module``) to keep it empty.
+    The full decision record now lives in the trace layer
+    (:mod:`repro.obs.trace`): ``merge_blocks`` emits structured
+    offer/trial/accept/reject events through the installed tracer.  The
+    ``events`` tuple list here is kept as a thin compatibility view of
+    the *accepted* merges only, bounded by ``events_capacity``; overflow
+    increments ``trace_dropped_events`` instead of disappearing.
+    Callers that form at module scale and only need the counters can pass
+    ``record_events=False`` (threaded through ``form_function``/
+    ``form_module``) to keep the view empty.
     """
 
     merges: int = 0
@@ -97,6 +107,11 @@ class MergeStats:
     rejected_illegal: int = 0
     record_events: bool = True
     events: list[tuple[str, str, str]] = field(default_factory=list)
+    #: Bounded capacity of the compatibility view (mirrors the trace ring
+    #: sink's bound; replaces the deprecated ``MAX_RECORDED_EVENTS``).
+    events_capacity: int = DEFAULT_RING_CAPACITY
+    #: Events that did not fit ``events_capacity`` (never silently lost).
+    trace_dropped_events: int = 0
     #: Fast-path perf counters of the run that produced these stats
     #: (attached by ``form_function``; aggregated by ``add``).
     cache: Optional[FormationCacheStats] = None
@@ -109,8 +124,11 @@ class MergeStats:
             self.unrolls += 1
         elif kind is MergeKind.PEEL:
             self.peels += 1
-        if self.record_events and len(self.events) < MAX_RECORDED_EVENTS:
-            self.events.append((kind.value, hb, target))
+        if self.record_events:
+            if len(self.events) < self.events_capacity:
+                self.events.append((kind.value, hb, target))
+            else:
+                self.trace_dropped_events += 1
 
     @property
     def mtup(self) -> tuple[int, int, int, int]:
@@ -124,10 +142,12 @@ class MergeStats:
         self.peels += other.peels
         self.attempts += other.attempts
         self.rejected_illegal += other.rejected_illegal
+        self.trace_dropped_events += other.trace_dropped_events
         if self.record_events:
-            room = MAX_RECORDED_EVENTS - len(self.events)
-            if room > 0:
-                self.events.extend(other.events[:room])
+            room = self.events_capacity - len(self.events)
+            taken = other.events[: max(room, 0)]
+            self.events.extend(taken)
+            self.trace_dropped_events += len(other.events) - len(taken)
         if other.cache is not None:
             if self.cache is None:
                 self.cache = FormationCacheStats()
@@ -158,12 +178,18 @@ class FormationContext:
         record_events: bool = True,
         guard=None,
         post_commit=None,
+        tracer=None,
     ):
         self.func = func
         #: Optional :class:`repro.robustness.guard.TrialGuard`: when set,
         #: ``expand_block`` routes every trial through it so an escaping
         #: exception is contained and rolled back instead of propagating.
         self.guard = guard
+        #: The trace emitter for this run (resolved once here, so the
+        #: per-trial disabled cost is a single attribute load):
+        #: ``None`` — the default, when no tracer is installed — disables
+        #: all instrumentation in the merge loop.
+        self.tracer = tracer if tracer is not None else active_tracer()
         #: Optional ``(ctx, hb_name) -> None`` hook run after every
         #: committed merge, *before* the merge is counted — raising here
         #: (verifier or oracle gate) makes the guard roll the commit back.
@@ -246,12 +272,25 @@ class FormationContext:
                 self._loops = None
                 self.cache_stats.loop_rebuilds += 1
         if self._liveness is not None:
-            self._liveness.refresh(
-                self.cfg,
-                self._use_kill_view(),
-                changed=(hb_name,),
-                removed=(removed,) if removed is not None else (),
-            )
+            tracer = self.tracer
+            if tracer is None:
+                self._liveness.refresh(
+                    self.cfg,
+                    self._use_kill_view(),
+                    changed=(hb_name,),
+                    removed=(removed,) if removed is not None else (),
+                )
+            else:
+                # The incremental dataflow re-solve is its own phase: at
+                # scale it is the dominant commit cost (see BENCH
+                # telemetry), so it must be attributable separately.
+                with tracer.phase("liveness", function=self.func.name):
+                    self._liveness.refresh(
+                        self.cfg,
+                        self._use_kill_view(),
+                        changed=(hb_name,),
+                        removed=(removed,) if removed is not None else (),
+                    )
             solved, skipped = self._liveness.last_solve_stats
             self.cache_stats.liveness_sccs_solved += solved
             self.cache_stats.liveness_sccs_skipped += skipped
@@ -459,8 +498,32 @@ def merge_blocks(
 ) -> Optional[list[str]]:
     """Attempt the merge; return the inlined body's successor names on
     success (the new merge candidates), or ``None`` on failure.
+
+    With a tracer installed (:func:`repro.obs.trace.install`) the whole
+    attempt is recorded as a ``trial`` span — optimize/estimate/commit/
+    oracle/liveness phases nested inside, the verdict attached as an
+    ``accept`` or ``reject`` event naming the exact structural constraint
+    that fired.  With no tracer the added cost is one attribute load and
+    a handful of ``is None`` tests.
     """
+    tracer = ctx.tracer
+    if tracer is None:
+        return _merge_trial(ctx, hb_name, s_name, _splitting)
+    with tracer.span(
+        "trial", function=ctx.func.name, hb=hb_name, target=s_name
+    ) as span:
+        if _splitting:
+            span.set(splitting=True)
+        result = _merge_trial(ctx, hb_name, s_name, _splitting)
+        span.set(committed=result is not None)
+        return result
+
+
+def _merge_trial(
+    ctx: FormationContext, hb_name: str, s_name: str, _splitting: bool
+) -> Optional[list[str]]:
     func = ctx.func
+    tracer = ctx.tracer
     ctx.stats.attempts += 1
     hb = func.blocks[hb_name]
     kind = classify_merge(ctx, hb_name, s_name)
@@ -509,6 +572,15 @@ def merge_blocks(
             # number their guards identically to an uncached run.
             ctx.cache_stats.trial_hits += 1
             ctx.stats.rejected_illegal += 1
+            if tracer is not None:
+                tracer.event(
+                    "reject",
+                    function=func.name,
+                    hb=hb_name,
+                    target=s_name,
+                    kind=kind.value,
+                    reason="memoized",
+                )
             if cached_regs:
                 func.note_reg(func.max_reg() + cached_regs - 1)
             return None
@@ -534,10 +606,30 @@ def merge_blocks(
         if plane.corrupt(fault_kind, preview):
             plane.record("trial", fault_kind, func.name, hb_name, s_name)
     if ctx.optimize_during:
-        optimize_block(preview, live_out)
-    estimate = estimate_block(preview, live_out, ctx.constraints)
+        if tracer is None:
+            optimize_block(preview, live_out)
+        else:
+            with tracer.phase("optimize", function=func.name):
+                optimize_block(preview, live_out)
+    if tracer is None:
+        estimate = estimate_block(preview, live_out, ctx.constraints)
+    else:
+        with tracer.phase("estimate", function=func.name):
+            estimate = estimate_block(preview, live_out, ctx.constraints)
     if not estimate.legal:
         ctx.stats.rejected_illegal += 1
+        if tracer is not None:
+            tracer.event(
+                "reject",
+                function=func.name,
+                hb=hb_name,
+                target=s_name,
+                kind=kind.value,
+                reason="constraint",
+                constraints=list(estimate.violation_kinds),
+                violations=list(estimate.violations),
+                estimate=estimate.as_attrs(),
+            )
         if memo_key is not None:
             ctx._rejected_trials[memo_key] = func.max_reg() - regs_before
             ctx.cache_stats.trial_stores += 1
@@ -546,6 +638,52 @@ def merge_blocks(
         return None
 
     # Commit (lines 7-16).
+    if tracer is None:
+        removed = _commit_preview(
+            ctx, hb_name, s_name, kind, preview, plane, fault_kind
+        )
+    else:
+        with tracer.phase("commit", function=func.name):
+            removed = _commit_preview(
+                ctx, hb_name, s_name, kind, preview, plane, fault_kind
+            )
+    if ctx.post_commit is not None:
+        # Post-commit gate (verifier / differential oracle).  Raising here
+        # happens *before* the merge is counted, so a guard rollback leaves
+        # the stats consistent with the restored IR.
+        if tracer is None:
+            ctx.post_commit(ctx, hb_name)
+        else:
+            with tracer.phase("oracle", function=func.name):
+                ctx.post_commit(ctx, hb_name)
+    ctx.stats.record(kind, hb_name, s_name)
+    if tracer is not None:
+        tracer.event(
+            "accept",
+            function=func.name,
+            hb=hb_name,
+            target=s_name,
+            kind=kind.value,
+            removed=removed,
+        )
+    return candidate_succs
+
+
+def _commit_preview(
+    ctx: FormationContext,
+    hb_name: str,
+    s_name: str,
+    kind: MergeKind,
+    preview: BasicBlock,
+    plane,
+    fault_kind: Optional[str],
+) -> Optional[str]:
+    """Install a surviving preview into the CFG (lines 7-16 of Figure 5).
+
+    Returns the name of the absorbed block when the commit deleted it
+    (SIMPLE merges), else ``None``.
+    """
+    func = ctx.func
     func.blocks[hb_name] = preview
     removed: Optional[str] = None
     if (
@@ -561,13 +699,7 @@ def merge_blocks(
         plane.record("trial", fault_kind, func.name, hb_name, s_name)
         raise _injected_fault(fault_kind, "commit crashed after CFG mutation")
     ctx.note_commit(hb_name, preview, removed, kind)
-    if ctx.post_commit is not None:
-        # Post-commit gate (verifier / differential oracle).  Raising here
-        # happens *before* the merge is counted, so a guard rollback leaves
-        # the stats consistent with the restored IR.
-        ctx.post_commit(ctx, hb_name)
-    ctx.stats.record(kind, hb_name, s_name)
-    return candidate_succs
+    return removed
 
 
 def _injected_fault(kind: str, message: str) -> InjectedFault:

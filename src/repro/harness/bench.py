@@ -151,6 +151,48 @@ def _cache_dict(total, attempts: int) -> dict:
     return result
 
 
+def _collect_telemetry(prepared) -> dict:
+    """One *untimed* traced pass over the suite: the bench JSON's
+    ``telemetry`` section.
+
+    Phase shares are computed over span self time — ``liveness`` nests
+    inside ``commit``, so commit is charged its total minus the nested
+    liveness (see :func:`repro.harness.tracecmd.phase_table`) and the
+    shares sum to ~100% of phase-attributed time.
+    """
+    from repro.harness.tracecmd import phase_table, rejection_breakdown
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sink import MemorySink
+    from repro.obs.trace import Tracer, tracing
+
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=(MemorySink(),), metrics=registry)
+    with tracing(tracer):
+        for _, workload, profile in prepared:
+            form_module(
+                workload.module(), profile=profile, record_events=False
+            )
+    trace = tracer.finish()
+    phases: dict[str, float] = {}
+    for row in phase_table(trace).values():
+        for phase, dur in row.items():
+            phases[phase] = phases.get(phase, 0.0) + dur
+    total = sum(phases.values())
+    return {
+        "events": len(trace),
+        "dropped": trace.dropped,
+        "event_counts": trace.event_counts(),
+        "rejections": rejection_breakdown(trace),
+        "phase_time_s": {
+            phase: round(phases[phase], 6) for phase in sorted(phases)
+        },
+        "phase_shares": {
+            phase: round(phases[phase] / total, 4) if total else 0.0
+            for phase in sorted(phases)
+        },
+    }
+
+
 def _time_parallel(prepared, workers: Optional[int], repeat: int):
     best = None
     merges = None
@@ -326,6 +368,8 @@ def run_bench(
     if scale:
         tiers = SCALING_TIERS[:1] if quick else SCALING_TIERS
         result["scaling"] = run_scale_bench(tiers=tiers)
+
+    result["telemetry"] = _collect_telemetry(prepared)
     return result
 
 
@@ -388,6 +432,19 @@ def format_report(result: dict) -> str:
             f"legacy {row['sequential_legacy_s']:.3f}s "
             f"(fast is {row['speedup_fast_vs_legacy']:.2f}x), "
             f"{row['merges']} merges"
+        )
+    telemetry = result.get("telemetry")
+    if telemetry:
+        shares = ", ".join(
+            f"{phase} {share:.0%}"
+            for phase, share in sorted(
+                telemetry["phase_shares"].items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(
+            f"  telemetry: {telemetry['events']} events "
+            f"(1 traced pass, {telemetry['dropped']} dropped); "
+            f"phase shares: {shares}"
         )
     return "\n".join(lines)
 

@@ -11,11 +11,16 @@ Usage::
     python -m repro.harness selfcheck [--subset sieve,mcf]
     python -m repro.harness table1 --selfcheck
     python -m repro.harness bench --faults [--fault-rate 0.1] [--fault-seed 0]
+    python -m repro.harness trace mcf [--why b0,b3] [--jsonl t.jsonl] \
+        [--chrome t.json]
+    python -m repro.harness stats mcf [--top 10]
 
 ``selfcheck`` (or the ``--selfcheck`` flag on any target) runs the
 differential-simulation oracle over the suite before the experiment and
 fails the run on any divergence; ``bench --faults`` runs the seeded
-fault-containment drill instead of the timing benchmark.
+fault-containment drill instead of the timing benchmark.  ``trace`` and
+``stats`` record one workload's formation under the decision tracer
+(:mod:`repro.obs`) and render the record / its aggregates.
 """
 
 from __future__ import annotations
@@ -45,10 +50,15 @@ def run(argv: Optional[list[str]] = None) -> str:
         "target",
         choices=[
             "table1", "table2", "table3", "figure7", "all", "bench",
-            "selfcheck",
+            "selfcheck", "trace", "stats",
         ],
         help="which experiment to regenerate ('bench' times formation, "
-        "'selfcheck' runs the differential-simulation oracle)",
+        "'selfcheck' runs the differential-simulation oracle, 'trace'/"
+        "'stats' record one workload under the decision tracer)",
+    )
+    parser.add_argument(
+        "workload", nargs="?",
+        help="trace/stats: the SPEC workload to form under the tracer",
     )
     parser.add_argument(
         "--subset",
@@ -102,9 +112,41 @@ def run(argv: Optional[list[str]] = None) -> str:
         "--fault-seed", type=int, default=0,
         help="bench --faults: fault-plane seed",
     )
+    parser.add_argument(
+        "--why",
+        help="trace: explain one decision — 'HB,TARGET' block names",
+    )
+    parser.add_argument(
+        "--jsonl", help="trace: also write raw events to this JSONL file"
+    )
+    parser.add_argument(
+        "--chrome",
+        help="trace: also write a Chrome/Perfetto trace to this file",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="stats: how many slowest trials to list",
+    )
     args = parser.parse_args(argv)
 
     subset = _parse_subset(args.subset)
+
+    if args.target in ("trace", "stats"):
+        from repro.harness.tracecmd import run_stats, run_trace
+
+        if not args.workload:
+            raise SystemExit(f"{args.target} needs a workload name")
+        if args.target == "trace":
+            report = run_trace(
+                args.workload, why=args.why, jsonl=args.jsonl,
+                chrome=args.chrome,
+            )
+        else:
+            report = run_stats(args.workload, top=args.top)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        return report
 
     if args.target == "selfcheck" or args.selfcheck:
         from repro.harness.selfcheck import run_selfcheck

@@ -51,6 +51,8 @@ from typing import Optional, Sequence
 from repro.core.convergent import form_function, form_module
 from repro.core.merge import MergeStats
 from repro.ir.function import Function, Module
+from repro.obs import trace as obs_trace
+from repro.obs.sink import MemorySink
 from repro.profiles.data import ProfileData
 from repro.robustness import faultinject
 from repro.robustness.faultinject import FaultPlane, InjectedFault, active_plane
@@ -110,32 +112,55 @@ def _apply_worker_fault(plane: FaultPlane, task_name: str) -> None:
     raise exc
 
 
+def _worker_tracer(trace_on: bool):
+    """Install a fragment tracer in a pool worker when the parent traces.
+
+    Workers do not inherit the parent's installed tracer (the ``spawn``
+    start method starts from a fresh interpreter), so each traced task
+    builds its own in-memory tracer and ships the collected events back
+    inside the task result for the parent to :meth:`Tracer.absorb`.
+    """
+    if not trace_on:
+        return None
+    tracer = obs_trace.Tracer(sinks=(MemorySink(),))
+    obs_trace.install(tracer)
+    return tracer
+
+
 def _form_one(payload):
     """Worker: form a single pickled function; module-level for pickling."""
-    func, profile, kwargs, plane = payload
-    if plane is not None:
-        faultinject.install(plane)
-        _apply_worker_fault(plane, func.name)
+    func, profile, kwargs, plane, trace_on = payload
+    tracer = _worker_tracer(trace_on)
     try:
+        if plane is not None:
+            faultinject.install(plane)
+            _apply_worker_fault(plane, func.name)
         report = form_function(func, profile=profile, **kwargs)
     finally:
         if plane is not None:
             faultinject.clear()
-    return func, report
+        if tracer is not None:
+            obs_trace.clear()
+    fragment = tracer.collected_events() if tracer is not None else None
+    return func, report, fragment
 
 
 def _form_module_task(payload):
     """Worker: form a whole pickled module; module-level for pickling."""
-    module, profile, kwargs, plane = payload
-    if plane is not None:
-        faultinject.install(plane)
-        _apply_worker_fault(plane, module.name)
+    module, profile, kwargs, plane, trace_on = payload
+    tracer = _worker_tracer(trace_on)
     try:
+        if plane is not None:
+            faultinject.install(plane)
+            _apply_worker_fault(plane, module.name)
         report = form_module(module, profile=profile, **kwargs)
     finally:
         if plane is not None:
             faultinject.clear()
-    return module, report
+        if tracer is not None:
+            obs_trace.clear()
+    fragment = tracer.collected_events() if tracer is not None else None
+    return module, report, fragment
 
 
 # ---------------------------------------------------------------------------
@@ -186,16 +211,20 @@ class _TaskSupervisor:
         self.futures = {}
         self.payloads = {}
         self.results = {}
+        self.tracer = obs_trace.active_tracer()
 
     def submit(self, key, task_name: str, payload) -> None:
         self.payloads[key] = (task_name, payload)
         self.futures[key] = self.pool.submit(self.task_fn, payload)
+        if self.tracer is not None:
+            self.tracer.event("task_dispatch", task=task_name)
 
     def resolve(self, key) -> None:
         """Block until ``key`` has a result (retrying as needed)."""
         if key in self.results:
             return
         task_name, payload = self.payloads[key]
+        tracer = self.tracer
         attempt = 0
         while True:
             try:
@@ -212,14 +241,32 @@ class _TaskSupervisor:
                 )
                 timeout_exc.__cause__ = exc
                 self.results[key] = ("failed", _worker_failure(task_name, timeout_exc))
+                if tracer is not None:
+                    tracer.event(
+                        "task_timeout", task=task_name, timeout=self.timeout
+                    )
                 return
             except Exception as exc:
                 if attempt >= self.retries:
                     self.results[key] = ("failed", _worker_failure(task_name, exc))
+                    if tracer is not None:
+                        tracer.event(
+                            "task_failed",
+                            task=task_name,
+                            attempts=attempt + 1,
+                            error_type=type(exc).__name__,
+                        )
                     return
                 time.sleep(self.backoff * (2**attempt))
                 attempt += 1
                 self.futures[key] = self.pool.submit(self.task_fn, payload)
+                if tracer is not None:
+                    tracer.event(
+                        "task_retry",
+                        task=task_name,
+                        attempt=attempt,
+                        error_type=type(exc).__name__,
+                    )
 
     def unresolved(self) -> list:
         return [key for key in self.payloads if key not in self.results]
@@ -239,6 +286,9 @@ def _serial_fallback_report(
     lands the task ``failed_safe`` un-formed, exactly what it converged to
     under the pool.
     """
+    tracer = obs_trace.active_tracer()
+    if tracer is not None:
+        tracer.event("serial_fallback", task=func.name)
     if plane is not None:
         kind = plane.worker_fault(func.name)
         if kind is not None:
@@ -289,6 +339,8 @@ def form_module_parallel(
         return form_module(module, profile=profile, **form_kwargs)
 
     plane = active_plane()
+    tracer = obs_trace.active_tracer()
+    trace_on = tracer is not None
     # Schedule biggest functions first so the pool drains evenly.
     order = sorted(names, key=lambda n: (-module.functions[n].size(), n))
     report = FormationReport(stats=MergeStats(record_events=record_events))
@@ -299,7 +351,9 @@ def form_module_parallel(
         )
         for name in order:
             supervisor.submit(
-                name, name, (module.functions[name], profile, form_kwargs, plane)
+                name,
+                name,
+                (module.functions[name], profile, form_kwargs, plane, trace_on),
             )
         try:
             for name in names:
@@ -322,8 +376,10 @@ def form_module_parallel(
             else:
                 freport = _failed_safe_report(name, value, record_events)
         else:
-            formed, freport = value
+            formed, freport, fragment = value
             module.functions[name] = formed
+            if tracer is not None and fragment:
+                tracer.absorb(fragment, task=name)
         report.add_function(freport)
     return report
 
@@ -339,9 +395,12 @@ def _absorb_broken_pool(supervisor: _TaskSupervisor, exc: BaseException) -> None
     the same :class:`BrokenProcessPool`.  The driver re-runs these tasks
     in-process afterwards.
     """
+    tracer = supervisor.tracer
     for key in supervisor.unresolved():
         task_name, _ = supervisor.payloads[key]
         supervisor.results[key] = ("failed", _worker_failure(task_name, exc))
+        if tracer is not None:
+            tracer.event("pool_broken", task=task_name)
 
 
 def form_many_parallel(
@@ -379,6 +438,8 @@ def form_many_parallel(
         return out
 
     plane = active_plane()
+    tracer = obs_trace.active_tracer()
+    trace_on = tracer is not None
     indexed = sorted(
         range(len(items)), key=lambda i: (-items[i][0].size(), items[i][0].name)
     )
@@ -389,7 +450,9 @@ def form_many_parallel(
         )
         for i in indexed:
             module, profile = items[i]
-            supervisor.submit(i, module.name, (module, profile, form_kwargs, plane))
+            supervisor.submit(
+                i, module.name, (module, profile, form_kwargs, plane, trace_on)
+            )
         try:
             for i in range(len(items)):
                 supervisor.resolve(i)
@@ -417,7 +480,10 @@ def form_many_parallel(
                     (module, _module_failed_safe(module, value, record_events))
                 )
         else:
-            out.append(value)
+            formed, mreport, fragment = value
+            if tracer is not None and fragment:
+                tracer.absorb(fragment, task=formed.name)
+            out.append((formed, mreport))
     return out
 
 
@@ -450,6 +516,9 @@ def _module_serial_fallback(
 ) -> FormationReport:
     """Re-form a module in-process after a broken pool (see
     :func:`_serial_fallback_report` for the worker-fault handling)."""
+    tracer = obs_trace.active_tracer()
+    if tracer is not None:
+        tracer.event("serial_fallback", task=module.name)
     if plane is not None:
         kind = plane.worker_fault(module.name)
         if kind is not None:

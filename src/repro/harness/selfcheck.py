@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.core.convergent import form_module
 from repro.harness.parallel import form_many_parallel
+from repro.obs.trace import FormationTrace, Tracer, tracing
 from repro.profiles import collect_profile
 from repro.robustness.faultinject import TRIAL_KINDS, FaultPlane, injected
 from repro.robustness.guard import FormationReport, FunctionStatus
@@ -74,14 +75,22 @@ def run_selfcheck(
     for name, workload in suite.items():
         probes = _workload_probes(workload)
         module = workload.module()
-        report = form_module(
-            module,
-            profile=profiles[name],
-            selfcheck="function",
-            oracle_probes=probes,
-        )
+        # Each workload forms under its own tracer, so a failure can be
+        # explained from the decision record: the probe that caught the
+        # divergence and the last merge accepted before it.
+        with tracing(Tracer()) as tracer:
+            report = form_module(
+                module,
+                profile=profiles[name],
+                selfcheck="function",
+                oracle_probes=probes,
+            )
+            final = differential_check(workload.module(), module, probes=probes)
+        trace = tracer.finish()
         serial_reports[name] = report
-        final = differential_check(workload.module(), module, probes=probes)
+        detail = ""
+        if not final.ok:
+            detail = final.describe() + "\n    " + _failure_context(trace)
         rows.append(
             {
                 "workload": name,
@@ -89,7 +98,7 @@ def run_selfcheck(
                 "degraded": len(report.degraded_functions),
                 "failed_safe": len(report.failed_safe_functions),
                 "divergences": len(final.divergences),
-                "detail": final.describe() if not final.ok else "",
+                "detail": detail,
             }
         )
 
@@ -114,6 +123,31 @@ def run_selfcheck(
 
     ok = drivers_equal and all(row["divergences"] == 0 for row in rows)
     return {"ok": ok, "rows": rows, "report": _format_selfcheck(rows, ok)}
+
+
+def _failure_context(trace: FormationTrace) -> str:
+    """Point a selfcheck failure at its trace evidence: the probe whose
+    verdict flagged the divergence and the last accepted merge span."""
+    parts = []
+    failed = [
+        e for e in trace.named("oracle_probe") if not e.attrs.get("ok")
+    ]
+    if failed:
+        last = failed[-1]
+        diverged = ", ".join(last.attrs.get("diverged", ())) or "?"
+        parts.append(
+            f"offending probe: {last.attrs.get('probe')} "
+            f"(diverged: {diverged})"
+        )
+    accept = trace.last_accept()
+    if accept is not None:
+        attrs = accept.attrs
+        parts.append(
+            f"last accepted merge: @{attrs.get('function')} "
+            f"{attrs.get('hb')} <- {attrs.get('target')} "
+            f"({attrs.get('kind')})"
+        )
+    return "; ".join(parts) if parts else "no trace events recorded"
 
 
 def _format_selfcheck(rows: list[dict], ok: bool) -> str:

@@ -1,0 +1,70 @@
+"""Zero-dependency observability for the formation engine.
+
+Three layers (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.trace` — structured events and spans, the installed
+  tracer, and the queryable :class:`FormationTrace`;
+- :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
+  with labels and a ``snapshot()`` API;
+- :mod:`repro.obs.sink` — JSONL / bounded-ring / in-memory sinks and the
+  Chrome-trace (Perfetto) exporter.
+
+Telemetry is opt-in: nothing is recorded until a :class:`Tracer` is
+installed (``with tracing(tracer): ...``), and with no tracer installed
+the instrumentation in the formation engine costs one ``is None`` test
+per trial.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.sink import (
+    DEFAULT_RING_CAPACITY,
+    JsonlSink,
+    MemorySink,
+    RingSink,
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.trace import (
+    PHASE_HISTOGRAM,
+    PHASE_SPANS,
+    FormationTrace,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    clear,
+    install,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_RING_CAPACITY",
+    "JsonlSink",
+    "MemorySink",
+    "RingSink",
+    "chrome_trace",
+    "read_jsonl",
+    "write_chrome_trace",
+    "PHASE_HISTOGRAM",
+    "PHASE_SPANS",
+    "FormationTrace",
+    "TraceEvent",
+    "Tracer",
+    "active_tracer",
+    "clear",
+    "install",
+    "tracing",
+]

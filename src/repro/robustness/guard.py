@@ -145,6 +145,10 @@ class _StatsProxy:
         return self.stats.events
 
     @property
+    def trace_dropped_events(self):
+        return self.stats.trace_dropped_events
+
+    @property
     def cache(self):
         return self.stats.cache
 
@@ -333,9 +337,26 @@ class TrialGuard:
         pre-trial state and blacklisting the pair.
         """
         func = ctx.func
+        tracer = ctx.tracer
         checkpoint = _TrialCheckpoint(ctx, hb_name, cand_name)
+        if tracer is not None:
+            tracer.event(
+                "guard_checkpoint",
+                function=func.name,
+                hb=hb_name,
+                target=cand_name,
+                blocks=len(checkpoint.order),
+            )
         try:
             if not legal_merge(ctx, hb_name, cand_name):
+                if tracer is not None:
+                    tracer.event(
+                        "reject",
+                        function=func.name,
+                        hb=hb_name,
+                        target=cand_name,
+                        reason="illegal",
+                    )
                 return None
             return merge_blocks(ctx, hb_name, cand_name)
         except Exception as exc:
@@ -346,4 +367,19 @@ class TrialGuard:
             )
             self.blacklist.add((func.name, hb_name, cand_name))
             checkpoint.restore(ctx)
+            if tracer is not None:
+                tracer.event(
+                    "guard_restore",
+                    function=func.name,
+                    hb=hb_name,
+                    target=cand_name,
+                    error_type=type(exc).__name__,
+                    error=str(exc)[:200],
+                )
+                tracer.event(
+                    "guard_blacklist",
+                    function=func.name,
+                    hb=hb_name,
+                    target=cand_name,
+                )
             return None

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.ir.function import Module
+from repro.obs.trace import active_tracer
 from repro.sim.functional import Interpreter, SimulationError
 
 #: Generous defaults for oracle probes: far above any legitimate workload
@@ -196,11 +197,20 @@ def differential_check(
         baseline = snapshot_behavior(
             before, probes, max_steps=max_steps, max_blocks=max_blocks
         )
+    tracer = active_tracer()
     for probe, reference in zip(probes, baseline):
         formed = probe_behavior(
             after, probe, max_steps=max_steps, max_blocks=max_blocks
         )
-        report.divergences.extend(compare_behavior(probe, reference, formed))
+        divergences = compare_behavior(probe, reference, formed)
+        report.divergences.extend(divergences)
+        if tracer is not None:
+            tracer.event(
+                "oracle_probe",
+                probe=probe.label(),
+                ok=not divergences,
+                diverged=[d.observable for d in divergences],
+            )
     return report
 
 

@@ -1,0 +1,135 @@
+"""Worker-side trace fragments: pool tasks ship their events back and the
+parent absorbs each exactly once — including across retries."""
+
+from __future__ import annotations
+
+from repro.harness.parallel import _TaskSupervisor, form_module_parallel
+from repro.ir.function import Module
+from repro.obs.trace import Tracer, tracing
+from repro.workloads.generators import random_program
+
+
+def _combo_module(seeds=(3, 5, 8, 13)) -> Module:
+    module = Module("combo")
+    for i, seed in enumerate(seeds):
+        func = random_program(seed).function("main")
+        func.name = f"f{i}"
+        module.add_function(func)
+    return module
+
+
+def test_pool_run_merges_one_span_tree_per_function():
+    module = _combo_module()
+    with tracing(Tracer()) as tracer:
+        report = form_module_parallel(module, max_workers=2)
+        trace = tracer.finish()
+    assert report.all_ok
+
+    func_spans = trace.named("function")
+    assert sorted(e.attrs["function"] for e in func_spans) == [
+        "f0", "f1", "f2", "f3",
+    ]
+    # Every worker event is stamped with its task and parented under the
+    # absorbed fragment, not floating free.
+    for span in func_spans:
+        assert span.attrs["task"] == span.attrs["function"]
+    dispatches = trace.named("task_dispatch")
+    assert sorted(e.attrs["task"] for e in dispatches) == [
+        "f0", "f1", "f2", "f3",
+    ]
+    # The decision record arrived intact: accepts per function match the
+    # per-function merge counters.
+    for name, freport in report.functions.items():
+        accepts = [
+            e for e in trace.named("accept")
+            if e.attrs.get("function") == name
+        ]
+        assert len(accepts) == freport.stats.merges
+
+
+def test_untraced_pool_run_emits_nothing():
+    module = _combo_module()
+    report = form_module_parallel(module, max_workers=2)
+    assert report.all_ok  # and no tracer errors with telemetry off
+
+
+class _FakeFuture:
+    """Runs the task lazily on ``result`` — in-process, no pickling."""
+
+    def __init__(self, fn, payload):
+        self._fn = fn
+        self._payload = payload
+
+    def result(self, timeout=None):
+        return self._fn(self._payload)
+
+
+class _FakePool:
+    def submit(self, fn, payload):
+        return _FakeFuture(fn, payload)
+
+
+def _flaky_task_fn(fail_first: int):
+    """A task that raises ``fail_first`` times, then returns a result
+    carrying a worker-side trace fragment — the shape ``_form_one``
+    returns.  Failed attempts build a fragment too, but it dies with the
+    raise, which is exactly the dedup property under test."""
+    calls = {"n": 0}
+
+    def task(payload):
+        calls["n"] += 1
+        worker = Tracer()
+        with tracing(worker):
+            with worker.span("function", function=payload):
+                worker.event(
+                    "accept", function=payload, hb="a", target="b",
+                    kind="merge", removed="b",
+                )
+                if calls["n"] <= fail_first:
+                    raise RuntimeError(f"transient #{calls['n']}")
+        return payload, "report", worker.collected_events()
+
+    return task
+
+
+def test_retried_task_contributes_exactly_one_span_tree():
+    """Satellite regression: a task that fails once and succeeds on retry
+    lands exactly one accepted span tree in the parent trace."""
+    with tracing(Tracer()) as parent:
+        supervisor = _TaskSupervisor(
+            _FakePool(), _flaky_task_fn(fail_first=1),
+            timeout=None, retries=2, backoff=0.0,
+        )
+        supervisor.submit("k", "taskA", "taskA")
+        supervisor.resolve("k")
+        status, value = supervisor.results["k"]
+        assert status == "ok"
+        _, _, fragment = value
+        parent.absorb(fragment, task="taskA")
+        trace = parent.finish()
+
+    assert [e.attrs["task"] for e in trace.named("task_dispatch")] == ["taskA"]
+    (retry,) = trace.named("task_retry")
+    assert retry.attrs["attempt"] == 1
+    assert retry.attrs["error_type"] == "RuntimeError"
+    # Two attempts ran, ONE span tree survives.
+    assert len(trace.named("function")) == 1
+    assert len(trace.named("accept")) == 1
+
+
+def test_exhausted_retries_contribute_no_span_tree():
+    with tracing(Tracer()) as parent:
+        supervisor = _TaskSupervisor(
+            _FakePool(), _flaky_task_fn(fail_first=10),
+            timeout=None, retries=1, backoff=0.0,
+        )
+        supervisor.submit("k", "taskA", "taskA")
+        supervisor.resolve("k")
+        status, _ = supervisor.results["k"]
+        trace = parent.finish()
+
+    assert status == "failed"
+    (failed,) = trace.named("task_failed")
+    assert failed.attrs["attempts"] == 2
+    assert trace.named("function") == []  # nothing absorbed
+    assert len(trace.named("task_retry")) == 1
