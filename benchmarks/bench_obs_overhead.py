@@ -8,7 +8,12 @@ per trial — costs at most ~2% of formation time.  This bench measures:
 - ``enabled_s``   — the same formation under a memory-sink tracer with a
   metrics registry (the full event firehose),
 - ``overhead_disabled`` / ``overhead_enabled`` ratios against a pinned
-  control loop.
+  control loop,
+- ``record_s``    — one ``bench --record`` ledger pass (build + persist
+  a run record).  The record pass runs *outside* every timed window, so
+  it can never perturb the numbers the bench reports — ``record_s`` is
+  informational pricing, and the disabled-overhead ceiling is the gate
+  proving ``--record`` left the timed loops untouched.
 
 Run without pytest::
 
@@ -94,6 +99,20 @@ def run_overhead_bench(
     result["overhead_disabled"] = round(
         control["disabled_s"] / result["disabled_s"], 3
     )
+    # Price the `--record` ledger pass (build a full run record in a
+    # throwaway directory).  Untimed elsewhere; priced here.
+    import tempfile
+
+    from repro.harness.bench import QUICK_SUBSET
+    from repro.harness.ledgercmd import record_suite_run
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        record_suite_run(
+            subset=list(subset or QUICK_SUBSET), kind="bench",
+            label="overhead-pricing", ledger_dir=tmp,
+        )
+        result["record_s"] = round(time.perf_counter() - start, 4)
     return result
 
 
@@ -108,6 +127,8 @@ def format_report(result: dict) -> str:
             f"  enabled telemetry:  {result['enabled_s']:.4f}s "
             f"({result['overhead_enabled']:.3f}x, "
             f"{result['events']} events)",
+            f"  record pass:        {result['record_s']:.4f}s "
+            f"(untimed by bench --record; informational)",
         ]
     )
 

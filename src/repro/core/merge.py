@@ -25,6 +25,7 @@ and is kept as the benchmark control; formed IR is identical either way
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field, fields
 from typing import Optional
 
@@ -134,6 +135,35 @@ class MergeStats:
     def mtup(self) -> tuple[int, int, int, int]:
         """(merged, tail duplicated, unrolled, peeled) as in Table 1."""
         return (self.merges, self.tail_dups, self.unrolls, self.peels)
+
+    def decision_fingerprint(self) -> str:
+        """Stable digest of this run's formation outcome.
+
+        Hashes the m/t/u/p counters, the attempt/illegal counts and the
+        ordered accepted-merge event view.  Two runs with the same
+        fingerprint made the same merges in the same order — the cheap
+        half of the run-ledger's identity check (the trace-derived
+        per-decision fingerprint in :mod:`repro.obs.ledger` adds the
+        rejection side).  Perf counters (``cache``) and capacity settings
+        are deliberately excluded: they describe *how fast* a run was,
+        not *what it decided*.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    self.merges,
+                    self.tail_dups,
+                    self.unrolls,
+                    self.peels,
+                    self.attempts,
+                    self.rejected_illegal,
+                )
+            ).encode()
+        )
+        for event in self.events:
+            digest.update(repr(tuple(event)).encode())
+        return digest.hexdigest()[:16]
 
     def add(self, other: "MergeStats") -> None:
         self.merges += other.merges

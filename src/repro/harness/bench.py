@@ -23,9 +23,6 @@ from __future__ import annotations
 
 import datetime
 import json
-import os
-import platform
-import sys
 import time
 from typing import Optional
 
@@ -450,12 +447,11 @@ def format_report(result: dict) -> str:
 
 
 def _machine_metadata() -> dict:
-    return {
-        "platform": platform.platform(),
-        "python": sys.version.split()[0],
-        "implementation": platform.python_implementation(),
-        "cpu_count": os.cpu_count(),
-    }
+    # Shared with run records so `compare` can tell "same machine" —
+    # phase-time regressions only gate when the fingerprints match.
+    from repro.obs.ledger import machine_metadata
+
+    return machine_metadata()
 
 
 def _history_summary(result: dict) -> dict:
@@ -492,28 +488,46 @@ def write_json(result: dict, path: str) -> None:
     instead of blindly overwriting the only data point.  Machine and
     interpreter metadata are recorded with every run — a regression that
     is really "same code, different machine" should be readable as such.
+
+    History is an analysis input now (``compare --history`` plots it),
+    so hygiene is enforced at write time: every appended entry is
+    validated against the run-record history schema, carried-over
+    entries missing a timestamp are backfilled from the previous file's
+    stamp, and entries that stay malformed are dropped (counted in
+    ``history_dropped``, never silently).
     """
+    from repro.obs.ledger import sanitize_history, validate_history_entry
+
     result = dict(result)
     result["machine"] = _machine_metadata()
     result["timestamp"] = (
         datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds")
     )
-    history: list = []
+    carried: list = []
+    fallback = None
     try:
         with open(path) as handle:
             previous = json.load(handle)
     except (OSError, ValueError):
         previous = None
     if isinstance(previous, dict):
+        fallback = previous.get("timestamp")
         old_history = previous.get("history")
         if isinstance(old_history, list):
-            history.extend(old_history)
+            carried.extend(old_history)
         elif "sequential_fast_s" in previous:
             # Pre-history file: preserve its single data point.
-            history.append(_history_summary(previous))
-    history.append(_history_summary(result))
+            carried.append(_history_summary(previous))
+    history, dropped = sanitize_history(
+        carried, fallback_timestamp=fallback or result["timestamp"]
+    )
+    entry = _history_summary(result)
+    validate_history_entry(entry)  # fail loudly before writing
+    history.append(entry)
     result["history"] = history
+    if dropped:
+        result["history_dropped"] = dropped
     with open(path, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")

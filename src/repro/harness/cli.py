@@ -12,8 +12,12 @@ Usage::
     python -m repro.harness table1 --selfcheck
     python -m repro.harness bench --faults [--fault-rate 0.1] [--fault-seed 0]
     python -m repro.harness trace mcf [--why b0,b3] [--jsonl t.jsonl] \
-        [--chrome t.json]
+        [--chrome t.json] [--dot prefix_]
     python -m repro.harness stats mcf [--top 10]
+    python -m repro.harness record [--quick] [--label ci] [--out rec.json]
+    python -m repro.harness bench --record
+    python -m repro.harness compare <run-a> <run-b> [--html report.html]
+    python -m repro.harness compare rec.json --against-ledger latest
 
 ``selfcheck`` (or the ``--selfcheck`` flag on any target) runs the
 differential-simulation oracle over the suite before the experiment and
@@ -21,6 +25,13 @@ fails the run on any divergence; ``bench --faults`` runs the seeded
 fault-containment drill instead of the timing benchmark.  ``trace`` and
 ``stats`` record one workload's formation under the decision tracer
 (:mod:`repro.obs`) and render the record / its aggregates.
+
+``record`` persists a run record (per-function decision fingerprints,
+merge counts, phase times) into the ``.repro-ledger/`` directory — also
+reachable as ``--record`` on ``bench``/``selfcheck``/``trace``; and
+``compare`` diffs two records (files, ledger hashes, or ``latest``),
+exiting nonzero on decision drift or a same-machine phase-time
+regression beyond ``--threshold``.
 """
 
 from __future__ import annotations
@@ -50,15 +61,23 @@ def run(argv: Optional[list[str]] = None) -> str:
         "target",
         choices=[
             "table1", "table2", "table3", "figure7", "all", "bench",
-            "selfcheck", "trace", "stats",
+            "selfcheck", "trace", "stats", "record", "compare",
         ],
         help="which experiment to regenerate ('bench' times formation, "
         "'selfcheck' runs the differential-simulation oracle, 'trace'/"
-        "'stats' record one workload under the decision tracer)",
+        "'stats' record one workload under the decision tracer, "
+        "'record' persists a run record to the ledger, 'compare' diffs "
+        "two run records)",
     )
     parser.add_argument(
         "workload", nargs="?",
-        help="trace/stats: the SPEC workload to form under the tracer",
+        help="trace/stats: the SPEC workload to form under the tracer; "
+        "compare: the baseline run (file path, ledger hash, or 'latest')",
+    )
+    parser.add_argument(
+        "other", nargs="?",
+        help="compare: the candidate run (file path, ledger hash, or "
+        "'latest')",
     )
     parser.add_argument(
         "--subset",
@@ -127,9 +146,67 @@ def run(argv: Optional[list[str]] = None) -> str:
         "--top", type=int, default=10,
         help="stats: how many slowest trials to list",
     )
+    parser.add_argument(
+        "--dot",
+        help="trace: write per-function DOT files (provenance-striped "
+        "hyperblocks) with this filename prefix",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="bench/selfcheck/trace: also persist a run record to the "
+        "ledger",
+    )
+    parser.add_argument(
+        "--ledger", default=None,
+        help="ledger directory (default: .repro-ledger)",
+    )
+    parser.add_argument(
+        "--label", help="record: free-form label stored with the run",
+    )
+    parser.add_argument(
+        "--against-ledger", dest="against_ledger", metavar="REF",
+        help="compare: baseline from the ledger ('latest' or a hash "
+        "prefix) instead of a second positional run",
+    )
+    parser.add_argument(
+        "--html", help="compare: also write a self-contained HTML report",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="compare: relative phase-time change below which a delta "
+        "is noise (default 0.15)",
+    )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="compare: also render the BENCH_formation.json trajectory",
+    )
+    parser.add_argument(
+        "--bench-json", default="BENCH_formation.json",
+        help="compare --history: which bench JSON to read the "
+        "trajectory from",
+    )
     args = parser.parse_args(argv)
 
     subset = _parse_subset(args.subset)
+
+    if args.target == "record":
+        from repro.harness.ledgercmd import run_record
+
+        report = run_record(
+            subset=subset, quick=args.quick, label=args.label,
+            ledger_dir=args.ledger, out=args.out,
+        )
+        return report
+
+    if args.target == "compare":
+        from repro.harness.ledgercmd import run_compare
+
+        return run_compare(
+            run_a=args.workload, run_b=args.other,
+            against_ledger=args.against_ledger, ledger_dir=args.ledger,
+            html=args.html, threshold=args.threshold,
+            history=args.history, bench_json=args.bench_json,
+        )
 
     if args.target in ("trace", "stats"):
         from repro.harness.tracecmd import run_stats, run_trace
@@ -139,8 +216,15 @@ def run(argv: Optional[list[str]] = None) -> str:
         if args.target == "trace":
             report = run_trace(
                 args.workload, why=args.why, jsonl=args.jsonl,
-                chrome=args.chrome,
+                chrome=args.chrome, dot=args.dot,
             )
+            if args.record:
+                from repro.harness.ledgercmd import run_record
+
+                report += "\n" + run_record(
+                    subset=[args.workload], kind="trace",
+                    label=args.label, ledger_dir=args.ledger,
+                )
         else:
             report = run_stats(args.workload, top=args.top)
         if args.out:
@@ -160,6 +244,13 @@ def run(argv: Optional[list[str]] = None) -> str:
             raise SystemExit("selfcheck failed: oracle divergence")
         if args.target == "selfcheck":
             report = check["report"]
+            if args.record:
+                from repro.harness.ledgercmd import run_record
+
+                report += "\n" + run_record(
+                    subset=check_subset, kind="selfcheck",
+                    label=args.label, ledger_dir=args.ledger,
+                )
             if args.out:
                 with open(args.out, "w") as handle:
                     handle.write(report + "\n")
@@ -194,6 +285,17 @@ def run(argv: Optional[list[str]] = None) -> str:
         if args.json:
             write_json(result, args.json)
         report = format_report(result)
+        if args.record:
+            from repro.harness.ledgercmd import run_record
+
+            # The record pass re-forms the suite under the tracer,
+            # *outside* the timed windows — recording never perturbs the
+            # numbers it records (priced in bench_obs_overhead.py).
+            report += "\n" + run_record(
+                subset=subset, quick=args.quick, kind="bench",
+                label=args.label, ledger_dir=args.ledger,
+                bench_result=result,
+            )
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(report + "\n")

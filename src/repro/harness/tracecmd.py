@@ -33,12 +33,14 @@ def record_formation_trace(
     workload_name: str,
     jsonl: Optional[str] = None,
     registry: Optional[MetricsRegistry] = None,
-) -> tuple[FormationTrace, object, MetricsRegistry]:
+) -> tuple[FormationTrace, object, MetricsRegistry, object]:
     """Form one SPEC workload under a fresh tracer.
 
-    Returns ``(trace, formation report, metrics registry)``.  Setup
-    (module build, profile collection) happens outside the trace so the
-    record is purely about formation decisions.
+    Returns ``(trace, formation report, metrics registry, formed
+    module)``.  Setup (module build, profile collection) happens outside
+    the trace so the record is purely about formation decisions; the
+    formed module rides along so callers can render what the decisions
+    produced (``--dot``).
     """
     if workload_name not in SPEC_BENCHMARKS:
         raise SystemExit(
@@ -58,7 +60,7 @@ def record_formation_trace(
     tracer = Tracer(sinks=sinks, metrics=registry)
     with tracing(tracer):
         report = form_module(module, profile=profile)
-    return tracer.finish(), report, registry
+    return tracer.finish(), report, registry, module
 
 
 # ---------------------------------------------------------------------------
@@ -146,9 +148,16 @@ def run_trace(
     why: Optional[str] = None,
     jsonl: Optional[str] = None,
     chrome: Optional[str] = None,
+    dot: Optional[str] = None,
 ) -> str:
-    """The ``trace`` verb: record, export, and render one formation run."""
-    trace, report, _ = record_formation_trace(workload, jsonl=jsonl)
+    """The ``trace`` verb: record, export, and render one formation run.
+
+    ``dot`` is a filename prefix: each formed function is written to
+    ``<prefix><function>.dot`` with hyperblocks striped by originating
+    basic block (see :func:`repro.ir.dot.merge_provenance`), the visual
+    side of a drift report's before/after.
+    """
+    trace, report, _, module = record_formation_trace(workload, jsonl=jsonl)
     lines = [
         f"trace: {workload}: {len(trace)} events"
         + (f" ({trace.dropped} dropped)" if trace.dropped else ""),
@@ -165,6 +174,17 @@ def run_trace(
         lines.append(f"  chrome trace written to {chrome}")
     if jsonl:
         lines.append(f"  jsonl written to {jsonl}")
+    if dot:
+        from repro.ir.dot import function_to_dot, merge_provenance
+
+        for func in module:
+            path = f"{dot}{func.name}.dot"
+            provenance = merge_provenance(trace, function=func.name)
+            with open(path, "w") as handle:
+                handle.write(
+                    function_to_dot(func, provenance=provenance) + "\n"
+                )
+            lines.append(f"  dot written to {path}")
     if why:
         try:
             hb, target = (part.strip() for part in why.split(",", 1))
@@ -237,7 +257,7 @@ def slowest_trials(trace: FormationTrace, top: int) -> list[TraceEvent]:
 
 def run_stats(workload: str, top: int = 10) -> str:
     """The ``stats`` verb: aggregate one traced formation run."""
-    trace, report, registry = record_formation_trace(workload)
+    trace, report, registry, _ = record_formation_trace(workload)
     lines = [f"stats: {workload}: {len(trace)} events"]
 
     lines.append(f"  top {top} slowest trials:")

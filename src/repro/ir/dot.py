@@ -3,6 +3,12 @@
 Handy for reading formation results: blocks are shaded by how full they
 are relative to the TRIPS 128-instruction format, loop back edges are
 dashed, and edge labels carry the branch predicate.
+
+With a ``provenance`` map (see :func:`merge_provenance`, built from the
+accept events of a formation trace) hyperblocks are rendered as striped
+nodes — one colored cell per originating basic block, in merge order —
+so a decision-drift report can point at a visual before/after of which
+blocks each hyperblock absorbed.
 """
 
 from __future__ import annotations
@@ -13,6 +19,14 @@ from repro.analysis.loops import LoopForest
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
 
+#: ColorBrewer Set3: 12 light, print-safe fills for provenance stripes.
+#: Origins beyond 12 wrap around — the stripes still show *structure*
+#: (how many constituents, in what order) even when colors repeat.
+PROVENANCE_PALETTE = (
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+    "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd", "#ccebc5", "#ffed6f",
+)
+
 
 def _shade(fraction: float) -> str:
     """Gray level: empty blocks white, full blocks dark."""
@@ -20,19 +34,88 @@ def _shade(fraction: float) -> str:
     return f"gray{level * 10 or 10}"
 
 
+def merge_provenance(trace, function: Optional[str] = None) -> dict[str, list[str]]:
+    """Per-hyperblock ordered origin list, from a trace's accept events.
+
+    ``trace`` only needs an ``events`` sequence (a
+    :class:`repro.obs.trace.FormationTrace` qualifies); ``function``
+    restricts the walk to one function's events.  Every block starts as
+    its own single origin; each accepted merge extends the hyperblock's
+    origin chain with the absorbed target's chain at that moment (an
+    ``unroll`` appends the hyperblock's own seed again — the body was
+    replicated, not absorbed from elsewhere).
+    """
+    origins: dict[str, list[str]] = {}
+    for event in trace.events:
+        if event.name != "accept":
+            continue
+        attrs = event.attrs
+        if function is not None and attrs.get("function") != function:
+            continue
+        hb, target = attrs.get("hb"), attrs.get("target")
+        if hb is None or target is None:
+            continue
+        chain = origins.setdefault(hb, [hb])
+        if attrs.get("kind") == "unroll":
+            chain.append(hb)
+        else:
+            chain.extend(origins.get(target, [target]))
+    return origins
+
+
+def _provenance_label(
+    block_name: str, size: int, chain: list[str], color_of: dict[str, str]
+) -> str:
+    """HTML-like table label: header row + one colored cell per origin."""
+    cells = "".join(
+        f'<td bgcolor="{color_of[origin]}" title="{origin}"> </td>'
+        for origin in chain
+    )
+    return (
+        '<<table border="0" cellborder="1" cellspacing="0">'
+        f'<tr><td colspan="{len(chain)}">{block_name}<br/>'
+        f"{size} instrs, {len(chain)} origins</td></tr>"
+        f"<tr>{cells}</tr></table>>"
+    )
+
+
 def function_to_dot(
     func: Function,
     slot_size: int = 128,
     name: Optional[str] = None,
+    provenance: Optional[dict[str, list[str]]] = None,
 ) -> str:
-    """Render ``func``'s CFG as a DOT digraph string."""
+    """Render ``func``'s CFG as a DOT digraph string.
+
+    ``provenance`` (from :func:`merge_provenance`) switches hyperblocks
+    that absorbed other blocks to striped table labels, one colored cell
+    per originating basic block in merge order.
+    """
     forest = LoopForest(func)
     lines = [f'digraph "{name or func.name}" {{',
              '  node [shape=box, style=filled, fontname="monospace"];']
+    color_of: dict[str, str] = {}
+    if provenance:
+        every_origin = sorted(
+            {origin for chain in provenance.values() for origin in chain}
+        )
+        color_of = {
+            origin: PROVENANCE_PALETTE[i % len(PROVENANCE_PALETTE)]
+            for i, origin in enumerate(every_origin)
+        }
     for block_name, block in func.blocks.items():
         fraction = min(len(block) / slot_size, 1.0)
-        label = f"{block_name}\\n{len(block)} instrs"
         entry = ", penwidth=2" if block_name == func.entry else ""
+        chain = (provenance or {}).get(block_name)
+        if chain and len(chain) > 1:
+            label = _provenance_label(
+                block_name, len(block), chain, color_of
+            )
+            lines.append(
+                f'  "{block_name}" [shape=plain, label={label}{entry}];'
+            )
+            continue
+        label = f"{block_name}\\n{len(block)} instrs"
         lines.append(
             f'  "{block_name}" [label="{label}", '
             f'fillcolor={_shade(fraction)}{entry}];'

@@ -7,7 +7,11 @@ Three layers (see ``docs/OBSERVABILITY.md``):
 - :mod:`repro.obs.metrics` — process-local counters/gauges/histograms
   with labels and a ``snapshot()`` API;
 - :mod:`repro.obs.sink` — JSONL / bounded-ring / in-memory sinks and the
-  Chrome-trace (Perfetto) exporter.
+  Chrome-trace (Perfetto) exporter;
+- :mod:`repro.obs.ledger` — persistent, content-addressed run records
+  with per-function decision fingerprints;
+- :mod:`repro.obs.rundiff` — decision-drift diffing between two run
+  records, with text and static-HTML renderers.
 
 Telemetry is opt-in: nothing is recorded until a :class:`Tracer` is
 installed (``with tracing(tracer): ...``), and with no tracer installed
@@ -15,6 +19,19 @@ the instrumentation in the formation engine costs one ``is None`` test
 per trial.
 """
 
+from repro.obs.ledger import (
+    DECISION_EVENTS,
+    DEFAULT_LEDGER_DIR,
+    RECORD_SCHEMA_VERSION,
+    Ledger,
+    LedgerError,
+    decision_fingerprints,
+    fingerprint_of,
+    run_hash,
+    sanitize_history,
+    validate_history_entry,
+    validate_record,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -32,6 +49,14 @@ from repro.obs.sink import (
     read_jsonl,
     write_chrome_trace,
 )
+from repro.obs.rundiff import (
+    DEFAULT_TIME_THRESHOLD,
+    diff_runs,
+    format_diff,
+    html_report,
+    load_history,
+    write_html_report,
+)
 from repro.obs.trace import (
     PHASE_HISTOGRAM,
     PHASE_SPANS,
@@ -45,6 +70,23 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DECISION_EVENTS",
+    "DEFAULT_LEDGER_DIR",
+    "RECORD_SCHEMA_VERSION",
+    "Ledger",
+    "LedgerError",
+    "decision_fingerprints",
+    "fingerprint_of",
+    "run_hash",
+    "sanitize_history",
+    "validate_history_entry",
+    "validate_record",
+    "DEFAULT_TIME_THRESHOLD",
+    "diff_runs",
+    "format_diff",
+    "html_report",
+    "load_history",
+    "write_html_report",
     "Counter",
     "Gauge",
     "Histogram",

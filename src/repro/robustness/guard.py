@@ -152,6 +152,9 @@ class _StatsProxy:
     def cache(self):
         return self.stats.cache
 
+    def decision_fingerprint(self) -> str:
+        return self.stats.decision_fingerprint()
+
 
 @dataclass
 class FunctionReport(_StatsProxy):

@@ -1,7 +1,18 @@
 """Tests for the Graphviz DOT exporter."""
 
-from repro.ir.dot import function_to_dot
+from repro.ir.dot import function_to_dot, merge_provenance
 from tests.conftest import make_counting_loop, make_diamond
+
+
+class FakeEvent:
+    def __init__(self, name, **attrs):
+        self.name = name
+        self.attrs = attrs
+
+
+class FakeTrace:
+    def __init__(self, events):
+        self.events = events
 
 
 def test_dot_contains_all_blocks_and_edges():
@@ -34,3 +45,52 @@ def test_dot_return_node():
     dot = function_to_dot(func)
     assert '"return"' in dot
     assert '"D" -> "return"' in dot
+
+
+def test_merge_provenance_tracks_origin_chains():
+    trace = FakeTrace([
+        FakeEvent("accept", function="f", hb="A", target="B", kind="merge"),
+        FakeEvent("offer", function="f", hb="A", target="C"),  # not an accept
+        FakeEvent("accept", function="f", hb="A", target="C",
+                  kind="tail_duplication"),
+        FakeEvent("accept", function="g", hb="X", target="Y", kind="merge"),
+    ])
+    origins = merge_provenance(trace, function="f")
+    assert origins == {"A": ["A", "B", "C"]}
+    assert merge_provenance(trace) == {
+        "A": ["A", "B", "C"], "X": ["X", "Y"],
+    }
+
+
+def test_merge_provenance_absorbs_transitive_chains():
+    # B first absorbs C; when A absorbs B it inherits B's full chain.
+    trace = FakeTrace([
+        FakeEvent("accept", function="f", hb="B", target="C", kind="merge"),
+        FakeEvent("accept", function="f", hb="A", target="B", kind="merge"),
+    ])
+    assert merge_provenance(trace)["A"] == ["A", "B", "C"]
+
+
+def test_merge_provenance_unroll_repeats_the_seed():
+    trace = FakeTrace([
+        FakeEvent("accept", function="f", hb="A", target="A", kind="unroll"),
+    ])
+    assert merge_provenance(trace)["A"] == ["A", "A"]
+
+
+def test_dot_provenance_renders_striped_nodes():
+    func = make_diamond()
+    provenance = {"A": ["A", "B", "C"]}
+    dot = function_to_dot(func, provenance=provenance)
+    striped = [l for l in dot.splitlines() if '"A"' in l and "<table" in l]
+    assert striped, "merged block A should get a table label"
+    assert striped[0].count("bgcolor=") == 3  # one cell per origin
+    assert "3 origins" in striped[0]
+    # Non-merged blocks keep the plain filled-box rendering.
+    assert any('"B"' in l and "fillcolor=" in l for l in dot.splitlines())
+
+
+def test_dot_single_origin_blocks_stay_plain():
+    func = make_diamond()
+    dot = function_to_dot(func, provenance={"A": ["A"]})
+    assert "<table" not in dot

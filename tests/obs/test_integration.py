@@ -97,7 +97,8 @@ def test_stats_helpers_on_a_real_trace():
 
 def test_record_formation_trace_writes_jsonl(tmp_path):
     path = str(tmp_path / "t.jsonl")
-    trace, report, registry = record_formation_trace("mcf", jsonl=path)
+    trace, report, registry, module = record_formation_trace("mcf", jsonl=path)
+    assert module is not None
     assert len(trace) > 0
     with open(path) as handle:
         lines = [json.loads(line) for line in handle if line.strip()]
