@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.ir import arena as _arena
 from repro.ir.block import BasicBlock
 from repro.ir.instruction import Predicate
 from repro.ir.opcodes import Opcode
@@ -193,6 +194,20 @@ def exposed_mask(block: BasicBlock) -> int:
     cached = _exposed_cache.get(version)
     if cached is not None:
         return cached
+
+    if _arena.ENABLED:
+        # The encode pass already solved the fully-unpredicated case (the
+        # single-pass kill-mask walk below) as a byproduct of building the
+        # columns; predicated blocks need the implication analysis, which
+        # runs faster over the object graph (tuple iteration beats
+        # per-element column indexing in pure Python), so they fall
+        # through to the scan below.
+        exposed = _arena.STORE.view_of(block).exposed
+        if exposed is not None:
+            if len(_exposed_cache) >= _EXPOSED_CACHE_MAX:
+                _exposed_cache.clear()
+            _exposed_cache[version] = exposed
+            return exposed
 
     instrs = block.instrs
     exposed = 0

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Union
 
+from repro.ir import arena as _arena
 from repro.ir.block import BasicBlock
 from repro.ir.opcodes import Opcode
 from repro.ir.regmask import as_mask, bits
@@ -149,40 +150,72 @@ def estimate_block(
     """
     live_out_mask = as_mask(live_out)
     est = BlockEstimate()
-    est.real_instructions = len(block.instrs)
 
-    consumers: dict[int, int] = {}
-    unconditional_writers = 0  # mask of unpredicated destinations
-    written = 0  # mask of all destinations
-    remat = 0  # constants: rematerialized by the backend, not fanned out
-    predicated_stores = 0
+    if _arena.ENABLED:
+        # The encode pass computed the masks and counts below; consumer
+        # counting runs here as flat loops over the CSR pool (contiguous
+        # ints, no per-instruction attribute loads).  The shared tail
+        # prices fanout/padding/banking identically, so the two backends
+        # produce bit-identical estimates.
+        store = _arena.STORE
+        view = store.view_of(block)
+        est.real_instructions = view.n
+        est.memory_ops = view.mem_ops
+        unconditional_writers = view.kill_mask
+        written = view.def_mask
+        remat = view.remat_mask
+        predicated_stores = view.pred_stores
 
-    consumers_get = consumers.get
-    memory_ops = 0
-    for instr in block.instrs:
-        op = instr.op
-        dest = instr.dest
-        pred = instr.pred
-        if dest is not None:
-            bit = 1 << dest
-            if op is _MOVI:
-                remat |= bit
-            else:
-                remat &= ~bit
-            written |= bit
-            if pred is None:
-                unconditional_writers |= bit
-        for reg in instr.srcs:
+        consumers = {}
+        consumers_get = consumers.get
+        pool = store.src_pool
+        off = store.src_off
+        base = view.base
+        top = base + view.n
+        for k in range(off[base], off[top]):
+            reg = pool[k]
             consumers[reg] = consumers_get(reg, 0) + 1
-        if pred is not None:
-            consumers[pred.reg] = consumers_get(pred.reg, 0) + 1
-        if op is _LOAD:
-            memory_ops += 1
-        elif op is _STORE:
-            memory_ops += 1
+        preds = store.pred
+        for j in range(base, top):
+            packed = preds[j]
+            if packed >= 0:
+                reg = packed >> 1
+                consumers[reg] = consumers_get(reg, 0) + 1
+    else:
+        est.real_instructions = len(block.instrs)
+
+        consumers = {}
+        unconditional_writers = 0  # mask of unpredicated destinations
+        written = 0  # mask of all destinations
+        remat = 0  # constants: rematerialized, not fanned out
+        predicated_stores = 0
+
+        consumers_get = consumers.get
+        memory_ops = 0
+        for instr in block.instrs:
+            op = instr.op
+            dest = instr.dest
+            pred = instr.pred
+            if dest is not None:
+                bit = 1 << dest
+                if op is _MOVI:
+                    remat |= bit
+                else:
+                    remat &= ~bit
+                written |= bit
+                if pred is None:
+                    unconditional_writers |= bit
+            for reg in instr.srcs:
+                consumers[reg] = consumers_get(reg, 0) + 1
             if pred is not None:
-                predicated_stores += 1
-    est.memory_ops = memory_ops
+                consumers[pred.reg] = consumers_get(pred.reg, 0) + 1
+            if op is _LOAD:
+                memory_ops += 1
+            elif op is _STORE:
+                memory_ops += 1
+                if pred is not None:
+                    predicated_stores += 1
+        est.memory_ops = memory_ops
 
     # Fanout: each producer encodes `instruction_targets` consumers; extra
     # consumers need a tree of fanout movs, each contributing one net slot.

@@ -37,6 +37,7 @@ from repro.ir.function import Function, Module
 from repro.ir.verify import VerificationError, verify_function
 from repro.profiles.data import ProfileData
 from repro.robustness.faultinject import active_plane
+from repro.ir import arena as _arena
 from repro.robustness.guard import (
     FormationReport,
     FunctionReport,
@@ -81,7 +82,9 @@ def _expand_block(
     policy.begin_block(ctx, hb_name)
     seq = 0
     candidates: list[Candidate] = []
-    initial = policy.filter_new(ctx, hb_name, func.blocks[hb_name].successors())
+    initial = policy.filter_new(
+        ctx, hb_name, list(_arena.successors_of(func.blocks[hb_name]))
+    )
     for succ in initial:
         candidates.append(Candidate(succ, depth=1, seq=seq))
         seq += 1

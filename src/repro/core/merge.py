@@ -35,6 +35,7 @@ from repro.core.constraints import TripsConstraints, estimate_block
 from repro.obs.sink import DEFAULT_RING_CAPACITY
 from repro.obs.trace import active_tracer
 from repro.robustness.faultinject import InjectedFault, active_plane
+from repro.ir import arena as _arena
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
@@ -290,7 +291,7 @@ class FormationContext:
             self.invalidate()
             return
         if self._cfg is not None:
-            self._cfg.update_block(hb_name, preview.successors())
+            self._cfg.update_block(hb_name, _arena.successors_of(preview))
             if removed is not None:
                 self._cfg.remove_node(removed)
             self.cache_stats.cfg_patches += 1
@@ -376,7 +377,7 @@ class FormationContext:
         """Live-out mask of a (possibly scratch) block from its branch targets."""
         live = 0
         live_in = self.liveness.live_in
-        for succ in block.successors():
+        for succ in _arena.successors_of(block):
             live |= live_in.get(succ, 0)
         return live
 
@@ -432,7 +433,8 @@ def legal_merge(ctx: FormationContext, hb_name: str, s_name: str) -> bool:
 
 def _saved_body_references(ctx: FormationContext, name: str) -> bool:
     return any(
-        name in body.successors() for body in ctx.saved_bodies.values()
+        name in _arena.successors_of(body)
+        for body in ctx.saved_bodies.values()
     )
 
 
@@ -493,7 +495,7 @@ def _trial_live_out(
     """
     live = 0
     live_in = ctx.liveness.live_in
-    for succ in hb.successors():
+    for succ in _arena.successors_of(hb):
         if succ != s_name:
             live |= live_in.get(succ, 0)
     for succ in candidate_succs:
@@ -513,10 +515,13 @@ def _def_mask(block: BasicBlock) -> int:
     cached = _def_mask_cache.get(version)
     if cached is not None:
         return cached
-    mask = 0
-    for instr in block.instrs:
-        if instr.dest is not None:
-            mask |= 1 << instr.dest
+    if _arena.ENABLED:
+        mask = _arena.STORE.view_of(block).def_mask
+    else:
+        mask = 0
+        for instr in block.instrs:
+            if instr.dest is not None:
+                mask |= 1 << instr.dest
     if len(_def_mask_cache) >= _DEF_MASK_CACHE_MAX:
         _def_mask_cache.clear()
     _def_mask_cache[version] = mask
@@ -570,7 +575,7 @@ def _merge_trial(
         body_source = None
         target = func.blocks[s_name]
 
-    candidate_succs = list((body_source or target).successors())
+    candidate_succs = list(_arena.successors_of(body_source or target))
     live_out = _trial_live_out(ctx, hb, s_name, candidate_succs)
 
     # A trial's outcome is a pure function of the two blocks' contents (the

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis.depgraph import dependence_height
+from repro.ir import arena as _arena
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.merge import FormationContext
@@ -307,7 +308,7 @@ class LookaheadPolicy(BreadthFirstPolicy):
         # Merges that keep the exit count flat are always fine: single
         # successor blocks, back edges (unroll), loop headers (peel).
         target = func.blocks[cand.name]
-        if len(target.successors()) <= 1:
+        if len(_arena.successors_of(target)) <= 1:
             return True
         if cand.name == hb_name or ctx.loops.is_header(cand.name):
             return True

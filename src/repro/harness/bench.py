@@ -4,8 +4,8 @@ Times end-to-end hyperblock formation over the SPEC workload suite in
 three configurations:
 
 - ``sequential_fast``   — ``form_module`` with the fast path (default),
-- ``sequential_legacy`` — ``form_module(fast_path=False)``, the
-  invalidate-everything control,
+- ``sequential_legacy`` — ``form_module(fast_path=False)`` under the
+  legacy (object-graph) IR backend: the all-machinery-off control,
 - ``parallel``          — :func:`repro.harness.parallel.form_many_parallel`.
 
 Module construction and profile collection are *not* timed: the benchmark
@@ -28,6 +28,7 @@ from typing import Optional
 
 from repro.core.convergent import form_module
 from repro.harness.parallel import form_many_parallel
+from repro.ir import arena as _ir_arena
 from repro.profiles import collect_profile
 from repro.workloads.generators import random_inputs, scaled_program
 from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_ORDER
@@ -187,7 +188,52 @@ def _collect_telemetry(prepared) -> dict:
             phase: round(phases[phase] / total, 4) if total else 0.0
             for phase in sorted(phases)
         },
+        # Arena counters accumulate per process; the delta over the traced
+        # pass is not isolated, but backend identity and order-of-magnitude
+        # encode/hit volumes are what the bench JSON needs to show.
+        "arena": _arena_telemetry(),
     }
+
+
+def _arena_telemetry() -> dict:
+    from repro.ir import arena as _arena
+
+    return {"backend": _arena.backend(), **_arena.STORE.counters()}
+
+
+def _profile_formation(prepared, top: int = 20) -> list[dict]:
+    """One cProfile'd pass over the suite: top-``top`` cumulative functions.
+
+    Untimed relative to the benchmark configurations — profiling runs on
+    fresh modules after the timed windows, so ``--profile`` never perturbs
+    the recorded numbers.
+    """
+    import cProfile
+    import pstats
+
+    modules = [(w.module(), p) for _, w, p in prepared]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for module, profile in modules:
+        form_module(module, profile=profile, record_events=False)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: list[dict] = []
+    for key in stats.fcn_list[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[key]
+        filename, line, name = key
+        rows.append(
+            {
+                "function": name,
+                "location": f"{filename}:{line}",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+        )
+    return rows
 
 
 def _time_parallel(prepared, workers: Optional[int], repeat: int):
@@ -235,7 +281,16 @@ def run_scale_bench(
     dataflow engine plus the incremental analyses pay off more the larger
     the function, because legacy re-analysis cost grows with function
     size while the fast path's per-merge work stays local.
+
+    The legacy control is pinned to the *legacy IR backend* as well as
+    ``fast_path=False``: it stands for the pre-optimization baseline, and
+    letting it use the arena's view cache would hand the control the very
+    machinery the comparison prices (an invalidate-everything run
+    re-derives per-block facts constantly, so it benefits from encoded
+    views even more than the fast path does).
     """
+    from repro.ir import arena as _arena
+
     rows = []
     for label, target in tiers:
         workload = _ScaledWorkload(label, target, seed)
@@ -250,9 +305,13 @@ def run_scale_bench(
         fast_s, fast_merges, fast_mtup, fast_cache = _time_sequential(
             prepared, True, repeat
         )
-        legacy_s, legacy_merges, legacy_mtup, _ = _time_sequential(
-            prepared, False, repeat
-        )
+        try:
+            _arena.set_backend("legacy")
+            legacy_s, legacy_merges, legacy_mtup, _ = _time_sequential(
+                prepared, False, repeat
+            )
+        finally:
+            _arena.set_backend(None)
         if (fast_merges, fast_mtup) != (legacy_merges, legacy_mtup):
             raise RuntimeError(
                 f"scaling tier {label}: fast path changed formation "
@@ -278,6 +337,75 @@ def run_scale_bench(
     return rows
 
 
+def run_backend_smoke(
+    tier: str = "50x",
+    repeat: int = 3,
+    seed: int = SCALING_SEED,
+    tolerance: float = 0.05,
+) -> dict:
+    """Arena-vs-legacy IR backend comparison on one scaling tier.
+
+    Both backends run the same generated program with the *same* formation
+    configuration (``fast_path=True``); what varies is only the analysis
+    backend (:mod:`repro.ir.arena` columns vs. object-graph scans).  Runs
+    are interleaved and timed with CPU time, best-of-``repeat``, so
+    machine noise hits both sides alike.  Raises if the decisions differ
+    or the arena backend is slower than legacy beyond ``tolerance``
+    (the regression gate CI runs at the 50x tier).
+    """
+    from repro.ir import arena as _arena
+
+    targets = dict(SCALING_TIERS)
+    if tier not in targets:
+        raise SystemExit(
+            f"unknown scaling tier {tier!r}; available: "
+            + ", ".join(label for label, _ in SCALING_TIERS)
+        )
+    target = targets[tier]
+    best: dict[str, float] = {}
+    mtups: dict[str, tuple] = {}
+    try:
+        for _ in range(repeat):
+            for backend in ("arena", "legacy"):
+                _arena.set_backend(backend)
+                module = scaled_program(target, seed)
+                start = time.process_time()
+                stats = form_module(
+                    module, fast_path=True, record_events=False
+                )
+                elapsed = time.process_time() - start
+                if backend not in best or elapsed < best[backend]:
+                    best[backend] = elapsed
+                mtups[backend] = stats.mtup
+    finally:
+        _arena.set_backend(None)  # back to the environment's selection
+    if mtups["arena"] != mtups["legacy"]:
+        raise RuntimeError(
+            "IR backend changed formation decisions: "
+            f"arena {mtups['arena']} != legacy {mtups['legacy']}"
+        )
+    ratio = best["arena"] / best["legacy"]
+    result = {
+        "tier": tier,
+        "target_instrs": target,
+        "seed": seed,
+        "repeat": repeat,
+        "arena_cpu_s": round(best["arena"], 4),
+        "legacy_cpu_s": round(best["legacy"], 4),
+        "arena_vs_legacy": round(ratio, 4),
+        "tolerance": tolerance,
+        "mtup": list(mtups["arena"]),
+        "ok": ratio <= 1.0 + tolerance,
+    }
+    if not result["ok"]:
+        raise RuntimeError(
+            f"arena backend slower than legacy at {tier}: "
+            f"{best['arena']:.4f}s vs {best['legacy']:.4f}s "
+            f"(ratio {ratio:.3f} > 1+{tolerance})"
+        )
+    return result
+
+
 def run_bench(
     subset: Optional[list[str]] = None,
     quick: bool = False,
@@ -285,6 +413,7 @@ def run_bench(
     repeat: int = 3,
     parallel: bool = True,
     scale: bool = False,
+    profile: bool = False,
 ) -> dict:
     """Run the formation benchmark; returns the BENCH_formation.json dict.
 
@@ -298,9 +427,17 @@ def run_bench(
     names = [name for name, _, _ in prepared]
 
     fast_s, fast_merges, mtup, cache = _time_sequential(prepared, True, repeat)
-    legacy_s, legacy_merges, legacy_mtup, _ = _time_sequential(
-        prepared, False, repeat
-    )
+    # The legacy control means "all post-seed machinery off": the
+    # invalidate-everything driver *and* the object-graph analysis
+    # backend (see run_scale_bench's docstring for why the control must
+    # not borrow the arena's view cache).
+    try:
+        _ir_arena.set_backend("legacy")
+        legacy_s, legacy_merges, legacy_mtup, _ = _time_sequential(
+            prepared, False, repeat
+        )
+    finally:
+        _ir_arena.set_backend(None)
     if (fast_merges, mtup) != (legacy_merges, legacy_mtup):
         raise RuntimeError(
             "fast path changed formation results: "
@@ -365,6 +502,9 @@ def run_bench(
     if scale:
         tiers = SCALING_TIERS[:1] if quick else SCALING_TIERS
         result["scaling"] = run_scale_bench(tiers=tiers)
+
+    if profile:
+        result["profile_top"] = _profile_formation(prepared)
 
     result["telemetry"] = _collect_telemetry(prepared)
     return result
@@ -443,6 +583,26 @@ def format_report(result: dict) -> str:
             f"(1 traced pass, {telemetry['dropped']} dropped); "
             f"phase shares: {shares}"
         )
+        arena = telemetry.get("arena")
+        if arena:
+            lines.append(
+                f"  ir backend: {arena['backend']} "
+                f"({arena['encodes']} encodes, {arena['view_hits']} view "
+                f"hits, {arena['instrs_stored']} instrs stored, "
+                f"{arena['column_bytes']} column bytes)"
+            )
+    rows = result.get("profile_top")
+    if rows:
+        lines.append(f"  profile (top {len(rows)} by cumulative time):")
+        lines.append(
+            f"    {'cumtime':>8} {'tottime':>8} {'ncalls':>9}  function"
+        )
+        for row in rows:
+            lines.append(
+                f"    {row['cumtime_s']:8.4f} {row['tottime_s']:8.4f} "
+                f"{row['ncalls']:9d}  {row['function']} "
+                f"({row['location']})"
+            )
     return "\n".join(lines)
 
 
@@ -468,6 +628,13 @@ def _history_summary(result: dict) -> dict:
         summary["parallel_s"] = result["parallel_s"]
     if "guarded_s" in result:
         summary["guarded_s"] = result["guarded_s"]
+        fast_s = result.get("sequential_fast_s")
+        if fast_s:
+            # Recomputed per entry rather than copied from the top-level
+            # result: carried-over entries predating this key stay
+            # comparable, and the ratio always matches the entry's own
+            # guarded_s/fast_s pair instead of a stale headline value.
+            summary["guard_overhead"] = round(result["guarded_s"] / fast_s, 3)
     if "scaling" in result:
         summary["scaling"] = [
             {

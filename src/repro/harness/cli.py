@@ -115,6 +115,20 @@ def run(argv: Optional[list[str]] = None) -> str:
         "many seconds",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="bench: cProfile one sequential formation pass and report "
+        "the top-20 functions by cumulative time",
+    )
+    parser.add_argument(
+        "--backend-smoke", action="store_true", dest="backend_smoke",
+        help="bench: time the arena IR backend against the legacy object "
+        "walkers on one scaling tier and fail if the arena is slower",
+    )
+    parser.add_argument(
+        "--smoke-tier", default="50x", dest="smoke_tier",
+        help="bench --backend-smoke: scaling tier to time (10x/50x/200x)",
+    )
+    parser.add_argument(
         "--selfcheck", action="store_true",
         help="run the differential-simulation oracle over the subset "
         "before the experiment; exit 1 on any divergence",
@@ -271,6 +285,18 @@ def run(argv: Optional[list[str]] = None) -> str:
             raise SystemExit("fault drill failed: a fault escaped containment")
         return report
 
+    if args.target == "bench" and args.backend_smoke:
+        import json as _json
+
+        from repro.harness.bench import run_backend_smoke
+
+        smoke = run_backend_smoke(tier=args.smoke_tier, repeat=args.repeat)
+        report = _json.dumps(smoke, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        return report
+
     if args.target == "bench":
         from repro.harness.bench import format_report, run_bench, write_json
 
@@ -281,6 +307,7 @@ def run(argv: Optional[list[str]] = None) -> str:
             repeat=args.repeat,
             parallel=not args.no_parallel,
             scale=args.scale,
+            profile=args.profile,
         )
         if args.json:
             write_json(result, args.json)

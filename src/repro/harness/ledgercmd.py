@@ -24,6 +24,7 @@ import os
 from typing import Optional
 
 from repro.core.convergent import form_module
+from repro.ir import arena as _arena
 from repro.obs.ledger import (
     RECORD_SCHEMA_VERSION,
     Ledger,
@@ -106,6 +107,7 @@ def build_suite_record(
                 module, profile=profile, record_events=False
             )
         trace = tracer.finish()
+        _arena.STORE.publish_metrics(registry)
         fingerprints = decision_fingerprints(trace, prefix=f"{name}:")
         for func in module:
             key = f"{name}:{func.name}"
@@ -164,6 +166,7 @@ def build_suite_record(
             "event_counts": event_counts,
             "rejections": rejections,
         },
+        "arena": {"backend": _arena.backend(), **_arena.STORE.counters()},
     }
     if bench_result is not None:
         record["bench"] = {
