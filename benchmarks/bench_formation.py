@@ -76,8 +76,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument(
         "--backend-smoke", action="store_true", dest="backend_smoke",
-        help="time the arena IR backend against the legacy object walkers "
-        "on one scaling tier and fail if the arena is slower",
+        help="race every accelerated IR backend (arena, and numpy when "
+        "installed) against the legacy object walkers on one scaling "
+        "tier and fail if any is slower",
     )
     parser.add_argument(
         "--smoke-tier", default="50x", dest="smoke_tier",

@@ -110,6 +110,16 @@ def _tarjan_sccs(nodes: list[str], succs: dict[str, list[str]]) -> list[list[str
     return sccs
 
 
+def _sccs(nodes: list[str], succs: dict[str, list[str]]) -> list[list[str]]:
+    """Backend dispatch for SCC discovery: identical components, identical
+    emission order, int-indexed under the numpy backend."""
+    if _arena.NUMPY:
+        from repro.ir import arena_np
+
+        return arena_np.sccs_flat(nodes, succs)
+    return _tarjan_sccs(nodes, succs)
+
+
 class Liveness:
     """Per-block live-in/live-out register masks for one function.
 
@@ -183,7 +193,7 @@ class Liveness:
         blocks = list(self.func.blocks)
         for name in blocks:
             self._use[name], self._kill[name] = self._block_use_kill(name)
-        comps = _tarjan_sccs(blocks, self.cfg.succs)
+        comps = _sccs(blocks, self.cfg.succs)
         for comp in comps:
             self._solve_component(comp)
         self.last_solve_stats = (len(comps), 0)
@@ -215,7 +225,26 @@ class Liveness:
             self._kill.pop(name, None)
         for name in dirty:
             self._use[name], self._kill[name] = self._block_use_kill(name)
-        comps = _tarjan_sccs(list(self.func.blocks), cfg.succs)
+        # Dirtiness only ever propagates to transitive *predecessors* of
+        # the seeds, and every member of an SCC containing such an
+        # ancestor is itself an ancestor (it reaches the ancestor, hence
+        # the seed) — so SCC discovery can be restricted to the ancestor
+        # subgraph: the components found, their membership, and their
+        # reverse-topological order all match the full graph's.
+        preds0 = cfg.preds
+        anc = set(dirty)
+        work = list(dirty)
+        while work:
+            node = work.pop()
+            for p in preds0.get(node, ()):
+                if p not in anc:
+                    anc.add(p)
+                    work.append(p)
+        if len(anc) < len(self.func.blocks):
+            nodes = [b for b in self.func.blocks if b in anc]
+        else:
+            nodes = list(self.func.blocks)
+        comps = _sccs(nodes, cfg.succs)
         solved = skipped = 0
         preds = cfg.preds
         for comp in comps:

@@ -69,20 +69,42 @@ class LoopForest:
         self.domtree = domtree or DominatorTree(func, self.cfg)
         self.loops: dict[str, Loop] = {}  # keyed by header
         self._block_loops: dict[str, list[Loop]] = {}
+        #: bodies/nesting are materialized on first query that needs
+        #: them: the formation hot path only asks ``is_header`` /
+        #: ``is_back_edge``, which headers and back edges answer alone.
+        self._bodies_done = False
         self._find_loops()
-        self._nest_loops()
 
     # -- construction -------------------------------------------------------
 
     def _find_loops(self) -> None:
         dom = self.domtree
+        facts = getattr(dom, "_facts", None)
+        if facts is not None and facts.flat.succs_src is self.cfg.succs:
+            # Vectorized dominance-interval back-edge scan over the same
+            # successor lists; edge order matches the scalar walk (rpo of
+            # src, successor order within), so loop discovery order —
+            # and everything keyed on it downstream — is identical.
+            for src, dst in facts.back_edges():
+                loop = self.loops.setdefault(dst, Loop(dst))
+                loop.back_edges.append((src, dst))
+            return
         for src in dom.rpo:
             for dst in self.cfg.succs.get(src, []):
                 if dst in dom.idom or dst == self.func.entry:
                     if dom.dominates(dst, src):
                         loop = self.loops.setdefault(dst, Loop(dst))
                         loop.back_edges.append((src, dst))
-                        self._collect_body(loop, src)
+
+    def _ensure_bodies(self) -> None:
+        """Collect loop bodies and nest the forest (idempotent, lazy)."""
+        if self._bodies_done:
+            return
+        self._bodies_done = True
+        for loop in self.loops.values():
+            for src, _ in loop.back_edges:
+                self._collect_body(loop, src)
+        self._nest_loops()
 
     def _collect_body(self, loop: Loop, latch: str) -> None:
         stack = [latch]
@@ -118,6 +140,13 @@ class LoopForest:
         headers.  Every loop containing ``old`` already contains ``new`` —
         the only path into ``old`` runs through ``new`` — so no loop gains
         or loses any *other* block and the nesting is unchanged.
+
+        When bodies are still unmaterialized only the header / back-edge
+        rename happens here (the hot queries read those); body collection,
+        when it eventually runs, walks the already-contracted CFG — which
+        yields exactly the renamed body sets, since contracting a block
+        into its unique predecessor preserves backward reachability
+        modulo the rename.
         """
         for loop in self.loops.values():
             if old in loop.blocks:
@@ -132,6 +161,8 @@ class LoopForest:
             loop = self.loops.pop(old)
             loop.header = new
             self.loops[new] = loop
+        if not self._bodies_done:
+            return
         old_loops = self._block_loops.pop(old, None)
         if old_loops:
             mine = self._block_loops.setdefault(new, [])
@@ -143,12 +174,16 @@ class LoopForest:
     # -- queries ------------------------------------------------------------
 
     def is_header(self, name: str) -> bool:
+        # Hot path (merge classification): headers are known from back-edge
+        # discovery alone — never materializes bodies.
         return name in self.loops
 
     def loop_of_header(self, name: str) -> Optional[Loop]:
+        self._ensure_bodies()
         return self.loops.get(name)
 
     def innermost_loop(self, name: str) -> Optional[Loop]:
+        self._ensure_bodies()
         loops = self._block_loops.get(name)
         return loops[0] if loops else None
 
@@ -157,11 +192,15 @@ class LoopForest:
         return loop.depth if loop else 0
 
     def is_back_edge(self, src: str, dst: str) -> bool:
+        # Hot path (merge classification): back edges are discovered
+        # eagerly — never materializes bodies.
         loop = self.loops.get(dst)
         return loop is not None and (src, dst) in loop.back_edges
 
     def top_level_loops(self) -> list[Loop]:
+        self._ensure_bodies()
         return [l for l in self.loops.values() if l.parent is None]
 
     def all_loops_innermost_first(self) -> list[Loop]:
+        self._ensure_bodies()
         return sorted(self.loops.values(), key=lambda l: -l.depth)

@@ -18,6 +18,7 @@ Usage::
     python -m repro.harness bench --record
     python -m repro.harness compare <run-a> <run-b> [--html report.html]
     python -m repro.harness compare rec.json --against-ledger latest
+    python -m repro.harness backends
 
 ``selfcheck`` (or the ``--selfcheck`` flag on any target) runs the
 differential-simulation oracle over the suite before the experiment and
@@ -62,12 +63,13 @@ def run(argv: Optional[list[str]] = None) -> str:
         choices=[
             "table1", "table2", "table3", "figure7", "all", "bench",
             "selfcheck", "trace", "stats", "record", "compare",
+            "backends",
         ],
         help="which experiment to regenerate ('bench' times formation, "
         "'selfcheck' runs the differential-simulation oracle, 'trace'/"
         "'stats' record one workload under the decision tracer, "
         "'record' persists a run record to the ledger, 'compare' diffs "
-        "two run records)",
+        "two run records, 'backends' lists the IR analysis backends)",
     )
     parser.add_argument(
         "workload", nargs="?",
@@ -121,8 +123,9 @@ def run(argv: Optional[list[str]] = None) -> str:
     )
     parser.add_argument(
         "--backend-smoke", action="store_true", dest="backend_smoke",
-        help="bench: time the arena IR backend against the legacy object "
-        "walkers on one scaling tier and fail if the arena is slower",
+        help="bench: race every accelerated IR backend (arena, and numpy "
+        "when installed) against the legacy object walkers on one scaling "
+        "tier and fail if any is slower",
     )
     parser.add_argument(
         "--smoke-tier", default="50x", dest="smoke_tier",
@@ -202,6 +205,33 @@ def run(argv: Optional[list[str]] = None) -> str:
     args = parser.parse_args(argv)
 
     subset = _parse_subset(args.subset)
+
+    if args.target == "backends":
+        from repro.ir import arena as _arena
+
+        active = _arena.backend()
+        lines = ["IR analysis backends"]
+        notes = {
+            "numpy": "vectorized kernels over the arena columns "
+            "(pip install .[fast])",
+            "arena": "struct-of-arrays columns, pure CPython consumers",
+            "legacy": "object-graph walkers (the reference semantics)",
+        }
+        for name in _arena._BACKENDS:
+            installed = name in _arena.available_backends()
+            marker = "*" if name == active else " "
+            status = notes[name] if installed else "NOT AVAILABLE (no numpy)"
+            lines.append(f"  {marker} {name:<6} {status}")
+        counters = _arena.STORE.counters()
+        lines.append(
+            f"  active: {active} (select with {_arena.BACKEND_ENV}); "
+            f"{counters['column_bytes']} column bytes resident"
+        )
+        report = "\n".join(lines)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        return report
 
     if args.target == "record":
         from repro.harness.ledgercmd import run_record

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.constraints import TripsConstraints, estimate_block
+from repro.core.constraints import TripsConstraints, estimate_blocks
 from repro.analysis.liveness import Liveness
 from repro.ir.function import Module
 from repro.sim.functional import SimStats
@@ -92,9 +92,13 @@ def occupancy_report(
     counts = stats.block_counts if stats is not None else {}
     for func in module:
         live = Liveness(func)
-        for name, block in func.blocks.items():
-            estimate = estimate_block(block, live.live_out[name], constraints)
-            execs = counts.get((func.name, name), 0)
-            report.blocks.append((f"{func.name}/{name}",
+        items = [
+            (block, live.live_out[name])
+            for name, block in func.blocks.items()
+        ]
+        estimates = estimate_blocks(items, constraints)
+        for (block, _), estimate in zip(items, estimates):
+            execs = counts.get((func.name, block.name), 0)
+            report.blocks.append((f"{func.name}/{block.name}",
                                   estimate.total_instructions, execs))
     return report

@@ -11,7 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
+try:  # optional extra (`pip install .[fast]`); figure7 has a pure fit
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    np = None
 
 from repro.core.policies import BreadthFirstPolicy
 from repro.harness.experiment import (
@@ -195,11 +198,27 @@ def figure7(table1_result: Optional[TableResult] = None) -> RegressionResult:
             points.append((workload, config, dblocks, dcycles))
             xs.append(dblocks)
             ys.append(dcycles)
-    x = np.asarray(xs, dtype=float)
-    y = np.asarray(ys, dtype=float)
-    slope, intercept = np.polyfit(x, y, 1)
-    predicted = slope * x + intercept
-    ss_res = float(np.sum((y - predicted) ** 2))
-    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if np is not None:
+        x = np.asarray(xs, dtype=float)
+        y = np.asarray(ys, dtype=float)
+        slope, intercept = np.polyfit(x, y, 1)
+        predicted = slope * x + intercept
+        ss_res = float(np.sum((y - predicted) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+        return RegressionResult(
+            points, float(slope), float(intercept), r_squared
+        )
+    # Ordinary least squares, degree 1 — the closed form numpy's polyfit
+    # solves, so numpy-free installs regenerate the same figure.
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
     r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
     return RegressionResult(points, float(slope), float(intercept), r_squared)

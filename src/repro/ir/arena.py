@@ -21,12 +21,19 @@ never reused (see :mod:`repro.ir.block`), so a view can never describe
 stale contents.  Restore/compaction therefore only ever *drops* cache;
 both are trivially sound.
 
-Backend selection: ``REPRO_IR_BACKEND=legacy`` in the environment (or
-:func:`set_backend`) disables the arena and every consumer falls back to
-its original object-graph scan.  Selection is captured at function build
-time in ``Function.arena`` (used by trial-guard checkpoints and the run
-ledger); the analyses themselves gate on the module-level :data:`ENABLED`
-flag, which test fixtures flip via :func:`set_backend`.
+Backend selection: ``REPRO_IR_BACKEND`` picks one of three tiers.
+``legacy`` disables the arena and every consumer falls back to its
+original object-graph scan; ``arena`` (the default) serves the flat-int
+columns with pure-CPython loops; ``numpy`` keeps the same columns but
+lets the hot consumers run vectorized kernels over zero-copy
+``np.frombuffer`` mirrors of them (see :mod:`repro.ir.arena_np`).  The
+numpy tier is strictly additive — it changes how facts are *computed*,
+never what they are — and degrades to the ``arena`` tier when numpy is
+not importable.  Selection is captured at function build time in
+``Function.arena`` (used by trial-guard checkpoints and the run
+ledger); the analyses themselves gate on the module-level
+:data:`ENABLED` / :data:`NUMPY` flags, which test fixtures flip via
+:func:`set_backend`.
 """
 
 from __future__ import annotations
@@ -48,42 +55,86 @@ from repro.ir.opcodes import (
 
 #: Environment variable naming the IR analysis backend.
 BACKEND_ENV = "REPRO_IR_BACKEND"
-_BACKENDS = ("arena", "legacy")
+_BACKENDS = ("numpy", "arena", "legacy")
+
+# Lazy numpy probe: ``None`` = not yet attempted.  numpy is an optional
+# extra (``pip install .[fast]``); importing it costs ~100 ms, so the
+# probe only runs when the numpy backend is actually requested.
+_NUMPY_PROBED: Optional[bool] = None
 
 
-def _read_env() -> bool:
+def numpy_available() -> bool:
+    """Whether the vectorized kernel tier can load (guarded import)."""
+    global _NUMPY_PROBED
+    if _NUMPY_PROBED is None:
+        try:
+            import numpy  # noqa: F401
+
+            _NUMPY_PROBED = True
+        except ImportError:
+            _NUMPY_PROBED = False
+    return _NUMPY_PROBED
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names selectable on this interpreter, fastest first."""
+    if numpy_available():
+        return _BACKENDS
+    return tuple(b for b in _BACKENDS if b != "numpy")
+
+
+def _resolve(name: str) -> tuple[bool, bool]:
+    """Map a backend name to the ``(ENABLED, NUMPY)`` flag pair.
+
+    ``numpy`` degrades to ``arena`` when numpy is not importable — the
+    columns and every flat-loop fallback are unaffected, so the cheap
+    graceful path beats a hard error in CI legs without the extra.
+    """
+    if name == "legacy":
+        return False, False
+    if name == "numpy":
+        return True, numpy_available()
+    return True, False
+
+
+def _read_env() -> tuple[bool, bool]:
     value = os.environ.get(BACKEND_ENV, "arena").strip().lower()
     if value and value not in _BACKENDS:
         raise ValueError(
             f"{BACKEND_ENV}={value!r}: expected one of {_BACKENDS}"
         )
-    return value != "legacy"
+    return _resolve(value or "arena")
 
 
 #: Whether the arena backend is active.  Consumers read this per call, so
 #: flipping it (via :func:`set_backend`) takes effect immediately; the
 #: per-function ``Function.arena`` handle records the selection that was
 #: live when the function was built.
-ENABLED: bool = _read_env()
+ENABLED: bool
+#: Whether the vectorized numpy consumer tier is active (implies ENABLED).
+NUMPY: bool
+ENABLED, NUMPY = _read_env()
 
 
 def backend() -> str:
-    """Name of the active backend (``"arena"`` or ``"legacy"``)."""
+    """Name of the backend in effect (``"numpy"``/``"arena"``/``"legacy"``)."""
+    if NUMPY:
+        return "numpy"
     return "arena" if ENABLED else "legacy"
 
 
 def set_backend(name: Optional[str] = None) -> str:
     """Select the analysis backend; ``None`` re-reads the environment.
 
-    Returns the name now in effect.  Used by tests and the bench's
-    arena-vs-legacy smoke; production selection is the environment
-    variable read once at import.
+    Returns the name now in effect (``numpy`` reports ``arena`` when the
+    extra is absent).  Used by tests and the bench's backend smoke;
+    production selection is the environment variable read once at import.
     """
-    global ENABLED
+    global ENABLED, NUMPY
     if name is None:
-        ENABLED = _read_env()
+        ENABLED, NUMPY = _read_env()
     elif name in _BACKENDS:
-        ENABLED = name == "arena"
+        ENABLED, NUMPY = _resolve(name)
     else:
         raise ValueError(f"unknown backend {name!r}: expected {_BACKENDS}")
     return backend()
@@ -189,6 +240,13 @@ class Arena:
         self.imm: list = []         # parallel immediates (arbitrary objects)
         self.views: dict[int, BlockView] = {}  # block version -> view
         self.epoch = 0
+        # Cached zero-copy numpy mirrors of the columns (arena_np.Mirrors),
+        # or None.  A live mirror *pins* the array buffers — CPython raises
+        # BufferError on any resize while a memoryview is exported — so
+        # every mutation site below drops it first; readers rebuild lazily
+        # via mirrors().
+        self._mirrors = None
+        self.mirror_builds = 0
         # counters (exported via counters() / publish_metrics())
         self.encodes = 0
         self.view_hits = 0
@@ -211,6 +269,8 @@ class Arena:
         """
         if len(self.op) >= COMPACT_SLOT_LIMIT:
             self._compact()
+        if self._mirrors is not None:
+            self._mirrors = None  # unpin the buffers before appending
         ops = self.op
         dests = self.dest
         preds = self.pred
@@ -322,6 +382,34 @@ class Arena:
             self.views[version] = view
             self.deposits += 1
 
+    # -- numpy mirrors --------------------------------------------------
+
+    def mirrors(self):
+        """Zero-copy numpy views of the columns, rebuilt lazily.
+
+        The cached :class:`repro.ir.arena_np.Mirrors` survives any number
+        of reads but is invalidated by every column mutation (encode
+        append, restore truncation, compaction/clear) — those sites drop
+        it *before* resizing, because a live ndarray export pins the
+        ``array('q')`` buffers.  The epoch/extent check is therefore a
+        pure assertion of freshness: a mirror that survived to this point
+        always describes the current columns.
+        """
+        m = self._mirrors
+        if (
+            m is not None
+            and m.epoch == self.epoch
+            and m.n_slots == len(self.op)
+            and m.n_pool == len(self.src_pool)
+        ):
+            return m
+        from repro.ir import arena_np
+
+        m = arena_np.Mirrors(self)
+        self._mirrors = m
+        self.mirror_builds += 1
+        return m
+
     # -- checkpoint / restore -------------------------------------------
 
     def checkpoint(self) -> tuple[int, int, int]:
@@ -343,6 +431,7 @@ class Arena:
         if epoch != self.epoch:
             self._clear()
             return
+        self._mirrors = None  # unpin the buffers before truncating
         del self.op[n_slots:]
         del self.dest[n_slots:]
         del self.pred[n_slots:]
@@ -361,6 +450,7 @@ class Arena:
     # -- maintenance ----------------------------------------------------
 
     def _clear(self) -> None:
+        self._mirrors = None  # unpin the buffers before truncating
         del self.op[:]
         del self.dest[:]
         del self.pred[:]
@@ -401,6 +491,7 @@ class Arena:
             "snapshots": self.snapshots,
             "restores": self.restores,
             "compactions": self.compactions,
+            "mirror_builds": self.mirror_builds,
             "column_bytes": self.column_bytes,
             "live_slots": len(self.op),
             "live_views": len(self.views),

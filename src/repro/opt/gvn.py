@@ -69,11 +69,19 @@ def global_value_numbering(func: Function) -> int:
         return 0
     dom = DominatorTree(func)
     arena_on = _arena.ENABLED
+    use_np = arena_on and _arena.NUMPY
     store = _arena.STORE if arena_on else None
-    counts = (
-        _def_counts_arena(func, store) if arena_on else _def_counts(func)
-    )
-    counts_get = counts.get
+    if use_np:
+        from repro.ir import arena_np
+
+        counts_np, mirror = arena_np.def_count_array(func, store)
+        counts = None
+        counts_get = None
+    else:
+        counts = (
+            _def_counts_arena(func, store) if arena_on else _def_counts(func)
+        )
+        counts_get = counts.get
 
     def single_def(reg: int) -> bool:
         return counts_get(reg, 0) <= 1
@@ -146,6 +154,54 @@ def global_value_numbering(func: Function) -> int:
         for key in added:
             del table[key]
 
+    def visit_arena_np(block_name: str) -> None:
+        # Same walk as visit_arena, but the per-slot eligibility tests
+        # (pure, unpredicated, non-copy, all sources single-def) run as
+        # one vectorized prefilter; the table walk then only visits the
+        # surviving slots.  Values entering IR objects are read from the
+        # CPython ``array`` columns, never from the mirrors, so no
+        # ``np.int64`` leaks into instructions.
+        nonlocal rewritten
+        block = func.blocks[block_name]
+        view = store.view_of(block)
+        cand = arena_np.gvn_candidates(mirror, view.base, view.n, counts_np)
+        added: list = []
+        if cand.size:
+            ops = store.op
+            dests = store.dest
+            off = store.src_off
+            pool = store.src_pool
+            imms = store.imm
+            base = view.base
+            flags = OP_FLAGS
+            changed = False
+            for i in cand.tolist():
+                j = base + i
+                opid = ops[j]
+                dest = dests[j]
+                srcs = tuple(pool[off[j]:off[j + 1]])
+                if flags[opid] & _arena.F_COMMUTATIVE and len(srcs) == 2:
+                    if srcs[0] > srcs[1]:
+                        srcs = (srcs[1], srcs[0])
+                key = (opid, srcs, imms[j])
+                available = table.get(key)
+                if available is not None and available != dest:
+                    instr = block.instrs[i]
+                    instr.op = Opcode.MOV
+                    instr.srcs = (available,)
+                    instr.imm = None
+                    rewritten += 1
+                    changed = True
+                elif available is None and int(counts_np[dest]) <= 1:
+                    table[key] = dest
+                    added.append(key)
+            if changed:
+                block.touch()
+        for child in dom.children.get(block_name, []):
+            visit_arena_np(child)
+        for key in added:
+            del table[key]
+
     def visit(block_name: str) -> None:
         nonlocal rewritten
         block = func.blocks[block_name]
@@ -182,7 +238,9 @@ def global_value_numbering(func: Function) -> int:
         for key in added:
             del table[key]
 
-    if arena_on:
+    if use_np:
+        visit = visit_arena_np
+    elif arena_on:
         visit = visit_arena
 
     # Iterative dominator-tree walk to avoid recursion limits.
@@ -194,6 +252,12 @@ def global_value_numbering(func: Function) -> int:
         visit(func.entry)
     finally:
         sys.setrecursionlimit(old_limit)
+    if use_np:
+        # visit_arena_np is a self-recursive closure: the function ->
+        # cell -> function cycle would keep the captured mirror alive
+        # (pinning the column buffers) until a cyclic GC pass.  Rebinding
+        # the cell releases it immediately.
+        mirror = None  # noqa: F841
     return rewritten
 
 

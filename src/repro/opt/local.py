@@ -667,8 +667,23 @@ def _dce_view(block: BasicBlock, live_out: int, view, store) -> bool:
     Walks the encoded extent backwards exactly like the object path —
     same liveness recurrence, same removability test (the ``OP_FLAGS``
     bit is precomputed from ``_DCE_REMOVABLE_OPS``) — and only touches
-    the object list to splice out the dead indices at the end.
+    the object list to splice out the dead indices at the end.  Under the
+    numpy backend the mark phase runs as a vectorized fixpoint over the
+    column mirrors; the dead set is identical by construction.
     """
+    if _arena.NUMPY:
+        from repro.ir import arena_np
+
+        dead_idx = arena_np.dce_dead_indices(
+            store.mirrors(), view.base, view.n, live_out
+        )
+        if dead_idx.size == 0:
+            return False
+        dead = set(dead_idx.tolist())
+        block.instrs = [
+            instr for i, instr in enumerate(block.instrs) if i not in dead
+        ]
+        return True
     live = live_out
     dests = store.dest
     preds = store.pred

@@ -1,11 +1,12 @@
-"""Arena vs. legacy IR backend: identical output, identical decisions.
+"""Arena / numpy vs. legacy IR backend: identical output, identical decisions.
 
-The struct-of-arrays arena is a pure analysis accelerator — formation
-under either backend must print the same IR and make the same sequence
-of merge decisions on every workload.  This is the repo's strongest
-guard against the arena drifting from the object-graph semantics it
-mirrors: the printed module is compared byte for byte, and the decision
-history is compared through ``MergeStats.decision_fingerprint()``.
+The struct-of-arrays arena — and the vectorized numpy tier on top of it —
+are pure analysis accelerators: formation under any backend must print
+the same IR and make the same sequence of merge decisions on every
+workload.  This is the repo's strongest guard against the accelerated
+paths drifting from the object-graph semantics they mirror: the printed
+module is compared byte for byte, and the decision history is compared
+through ``MergeStats.decision_fingerprint()``.
 """
 
 from __future__ import annotations
@@ -18,6 +19,14 @@ from repro.ir import arena
 from repro.ir.printer import format_module
 from repro.workloads.generators import scaled_program
 from repro.workloads.spec import SPEC_ORDER
+
+#: Backends raced against ``legacy`` (the object-graph reference).
+ACCELERATED = ("arena", "numpy")
+
+
+def _require(backend: str) -> None:
+    if backend not in arena.available_backends():
+        pytest.skip(f"backend {backend!r} not available (numpy missing)")
 
 
 @pytest.fixture(autouse=True)
@@ -42,24 +51,32 @@ def _form_under(backend, module, profile):
     return printed, fingerprints
 
 
+@pytest.mark.parametrize("backend", ACCELERATED)
 @pytest.mark.parametrize("name", SPEC_ORDER)
-def test_spec_workloads_backend_equivalent(prepared_suite, name):
+def test_spec_workloads_backend_equivalent(prepared_suite, name, backend):
+    _require(backend)
     workload, profile = prepared_suite[name]
-    arena_ir, arena_fp = _form_under("arena", workload.module(), profile)
+    fast_ir, fast_fp = _form_under(backend, workload.module(), profile)
     legacy_ir, legacy_fp = _form_under("legacy", workload.module(), profile)
-    assert arena_fp == legacy_fp, f"{name}: decision drift between backends"
-    assert arena_ir == legacy_ir, f"{name}: printed IR differs"
+    assert fast_fp == legacy_fp, (
+        f"{name}: decision drift between {backend} and legacy"
+    )
+    assert fast_ir == legacy_ir, f"{name}: printed IR differs ({backend})"
 
 
-def test_scaled_program_backend_equivalent():
+@pytest.mark.parametrize("backend", ACCELERATED)
+def test_scaled_program_backend_equivalent(backend):
     # The 10x synthetic tier: larger functions than any SPEC workload,
     # formed without a profile (static estimates), so the equivalence
     # also covers the profile-free paths.
-    arena_ir, arena_fp = _form_under(
-        "arena", scaled_program(440, SCALING_SEED), None
+    _require(backend)
+    fast_ir, fast_fp = _form_under(
+        backend, scaled_program(440, SCALING_SEED), None
     )
     legacy_ir, legacy_fp = _form_under(
         "legacy", scaled_program(440, SCALING_SEED), None
     )
-    assert arena_fp == legacy_fp, "decision drift between backends"
-    assert arena_ir == legacy_ir, "printed IR differs"
+    assert fast_fp == legacy_fp, (
+        f"decision drift between {backend} and legacy"
+    )
+    assert fast_ir == legacy_ir, f"printed IR differs ({backend})"
