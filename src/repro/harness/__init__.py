@@ -8,6 +8,13 @@ from repro.harness.experiment import (
     ordering_config,
 )
 from repro.harness.bench import format_report, run_bench, write_json
+from repro.harness.fleet import (
+    Fleet,
+    FleetConfig,
+    form_many_fleet,
+    run_fleet_corpus,
+    run_fleet_drill,
+)
 from repro.harness.occupancy import OccupancyReport, occupancy_report
 from repro.harness.parallel import form_many_parallel, form_module_parallel
 from repro.harness.selfcheck import run_fault_drill, run_selfcheck
@@ -30,10 +37,15 @@ __all__ = [
     "WorkloadExperiment",
     "figure7",
     "form_many_parallel",
+    "Fleet",
+    "FleetConfig",
+    "form_many_fleet",
     "form_module_parallel",
     "format_report",
     "run_bench",
     "run_fault_drill",
+    "run_fleet_corpus",
+    "run_fleet_drill",
     "run_selfcheck",
     "write_json",
     "heuristic_config",

@@ -236,14 +236,17 @@ def _profile_formation(prepared, top: int = 20) -> list[dict]:
     return rows
 
 
-def _time_parallel(prepared, workers: Optional[int], repeat: int):
+def _time_parallel(
+    prepared, workers: Optional[int], repeat: int, driver: str = "pool"
+):
     best = None
     merges = None
     for _ in range(repeat):
         items = [(w.module(), p) for _, w, p in prepared]
         start = time.perf_counter()
         results = form_many_parallel(
-            items, max_workers=workers, record_events=False, failsafe=False
+            items, max_workers=workers, record_events=False, failsafe=False,
+            driver=driver,
         )
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
@@ -457,11 +460,14 @@ def run_bench(
     parallel: bool = True,
     scale: bool = False,
     profile: bool = False,
+    driver: str = "pool",
 ) -> dict:
     """Run the formation benchmark; returns the BENCH_formation.json dict.
 
     ``scale=True`` additionally times the synthetic scaling tiers (see
     :func:`run_scale_bench`); with ``quick`` only the smallest tier runs.
+    ``driver`` selects the parallel configuration's engine (``"pool"`` or
+    ``"fleet"``), so the two can be raced on identical inputs.
     """
     if quick and subset is None:
         subset = list(QUICK_SUBSET)
@@ -533,14 +539,15 @@ def run_bench(
         }
 
     if parallel:
-        par_s, par_merges = _time_parallel(prepared, workers, repeat)
+        par_s, par_merges = _time_parallel(prepared, workers, repeat, driver)
         if par_merges != fast_merges:
             raise RuntimeError(
-                "parallel formation changed merge count: "
+                f"{driver} formation changed merge count: "
                 f"{par_merges} != {fast_merges}"
             )
         result["parallel_s"] = round(par_s, 4)
         result["parallel_workers"] = workers or 0  # 0 = executor default
+        result["parallel_driver"] = driver
         result["speedup_parallel_vs_fast"] = round(fast_s / par_s, 3)
 
     if scale:

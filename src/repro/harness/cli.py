@@ -19,6 +19,10 @@ Usage::
     python -m repro.harness compare <run-a> <run-b> [--html report.html]
     python -m repro.harness compare rec.json --against-ledger latest
     python -m repro.harness backends
+    python -m repro.harness fleet [--workers 4] [--corpus 10x] \
+        [--modules 12] [--journal j.jsonl] [--resume] [--max-jobs N] \
+        [--verify-serial] [--record]
+    python -m repro.harness fleet --drill [--fault-rate 0.1] [--fault-seed 2]
 
 ``selfcheck`` (or the ``--selfcheck`` flag on any target) runs the
 differential-simulation oracle over the suite before the experiment and
@@ -33,6 +37,11 @@ reachable as ``--record`` on ``bench``/``selfcheck``/``trace``; and
 ``compare`` diffs two records (files, ledger hashes, or ``latest``),
 exiting nonzero on decision drift or a same-machine phase-time
 regression beyond ``--threshold``.
+
+``fleet`` runs a corpus on the persistent self-healing worker fleet
+(:mod:`repro.harness.fleet`): journalled, resumable (``--journal`` /
+``--resume``), verifiable bit-identical to serial (``--verify-serial``).
+``fleet --drill`` instead runs the kill/stall/raise containment drill.
 """
 
 from __future__ import annotations
@@ -63,13 +72,14 @@ def run(argv: Optional[list[str]] = None) -> str:
         choices=[
             "table1", "table2", "table3", "figure7", "all", "bench",
             "selfcheck", "trace", "stats", "record", "compare",
-            "backends",
+            "backends", "fleet",
         ],
         help="which experiment to regenerate ('bench' times formation, "
         "'selfcheck' runs the differential-simulation oracle, 'trace'/"
         "'stats' record one workload under the decision tracer, "
         "'record' persists a run record to the ledger, 'compare' diffs "
-        "two run records, 'backends' lists the IR analysis backends)",
+        "two run records, 'backends' lists the IR analysis backends, "
+        "'fleet' runs a corpus on the self-healing worker fleet)",
     )
     parser.add_argument(
         "workload", nargs="?",
@@ -145,8 +155,54 @@ def run(argv: Optional[list[str]] = None) -> str:
         help="bench --faults: per-trial fault probability",
     )
     parser.add_argument(
-        "--fault-seed", type=int, default=0,
-        help="bench --faults: fault-plane seed",
+        "--fault-seed", type=int, default=None,
+        help="bench --faults / fleet --drill: fault-plane seed "
+        "(default: 0 for bench, 2 for the fleet drill)",
+    )
+    parser.add_argument(
+        "--driver", choices=["pool", "fleet", "serial"], default="pool",
+        help="bench/selfcheck: parallel-driver engine to race against "
+        "the sequential reference",
+    )
+    parser.add_argument(
+        "--drill", action="store_true",
+        help="fleet: run the kill/stall/raise containment drill instead "
+        "of a plain corpus run",
+    )
+    parser.add_argument(
+        "--corpus", default="10x",
+        help="fleet: corpus specifier — a scaling tier (10x/50x/200x) "
+        "or 'spec' (the 19 SPEC workloads)",
+    )
+    parser.add_argument(
+        "--modules", type=int, default=12,
+        help="fleet: how many synthetic modules a scaling-tier corpus "
+        "holds (ignored for --corpus spec)",
+    )
+    parser.add_argument(
+        "--corpus-seed", type=int, default=None, dest="corpus_seed",
+        help="fleet: base seed of the synthetic corpus (default: the "
+        "bench scaling seed)",
+    )
+    parser.add_argument(
+        "--journal", default=None,
+        help="fleet: append-only run journal path; completed jobs are "
+        "journalled so a killed driver can --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="fleet: skip jobs already completed in --journal (refuses "
+        "if the journal's corpus configuration differs)",
+    )
+    parser.add_argument(
+        "--max-jobs", type=int, default=None, dest="max_jobs",
+        help="fleet: abandon the run after this many completions (the "
+        "CI resume smoke's stand-in for a killed driver)",
+    )
+    parser.add_argument(
+        "--verify-serial", action="store_true", dest="verify_serial",
+        help="fleet: re-form the corpus in-process and fail on any "
+        "decision-fingerprint divergence",
     )
     parser.add_argument(
         "--why",
@@ -233,6 +289,13 @@ def run(argv: Optional[list[str]] = None) -> str:
                 handle.write(report + "\n")
         return report
 
+    if args.target == "fleet":
+        report = _run_fleet_target(args)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        return report
+
     if args.target == "record":
         from repro.harness.ledgercmd import run_record
 
@@ -282,7 +345,7 @@ def run(argv: Optional[list[str]] = None) -> str:
         # Table targets take *microbenchmark* subsets; the oracle runs
         # over SPEC workloads, so only forward SPEC-speaking subsets.
         check_subset = subset if args.target in ("selfcheck", "bench") else None
-        check = run_selfcheck(subset=check_subset)
+        check = run_selfcheck(subset=check_subset, driver=args.driver)
         if not check["ok"]:
             print(check["report"], file=sys.stderr)
             raise SystemExit("selfcheck failed: oracle divergence")
@@ -304,7 +367,8 @@ def run(argv: Optional[list[str]] = None) -> str:
         from repro.harness.selfcheck import run_fault_drill
 
         drill = run_fault_drill(
-            subset=subset, rate=args.fault_rate, seed=args.fault_seed
+            subset=subset, rate=args.fault_rate,
+            seed=args.fault_seed if args.fault_seed is not None else 0,
         )
         report = drill["report"]
         if args.out:
@@ -338,6 +402,7 @@ def run(argv: Optional[list[str]] = None) -> str:
             parallel=not args.no_parallel,
             scale=args.scale,
             profile=args.profile,
+            driver=args.driver,
         )
         if args.json:
             write_json(result, args.json)
@@ -386,6 +451,110 @@ def run(argv: Optional[list[str]] = None) -> str:
         with open(args.out, "w") as handle:
             handle.write(report)
     return report
+
+
+def _run_fleet_target(args) -> str:
+    """The ``fleet`` verb: drill, or a (resumable) journalled corpus run."""
+    from repro.harness.bench import SCALING_SEED
+    from repro.harness.fleet import (
+        DEFAULT_FLEET_WORKERS,
+        FleetConfig,
+        build_corpus,
+        compare_against_serial,
+        corpus_config_fingerprint,
+        run_fleet_corpus,
+        run_fleet_drill,
+        serial_corpus_entries,
+    )
+
+    if args.drill:
+        drill = run_fleet_drill(
+            corpus=args.corpus,
+            modules=args.modules,
+            seed=args.corpus_seed
+            if args.corpus_seed is not None
+            else SCALING_SEED,
+            workers=args.workers or 4,
+            rate=args.fault_rate,
+            fault_seed=args.fault_seed if args.fault_seed is not None else 2,
+        )
+        if not drill["ok"]:
+            print(drill["report"], file=sys.stderr)
+            raise SystemExit(
+                "fleet drill failed: a fault escaped containment or the "
+                "fleet diverged from serial"
+            )
+        return drill["report"]
+
+    seed = args.corpus_seed if args.corpus_seed is not None else SCALING_SEED
+    corpus_items = build_corpus(args.corpus, args.modules, seed)
+    config_fp = corpus_config_fingerprint(args.corpus, args.modules, seed, None)
+    config = FleetConfig(workers=args.workers or DEFAULT_FLEET_WORKERS)
+    result = run_fleet_corpus(
+        corpus_items,
+        config=config,
+        journal_path=args.journal,
+        resume=args.resume,
+        config_fingerprint=config_fp,
+        stop_after=args.max_jobs,
+    )
+    stats = result.fleet_stats
+    lines = [
+        f"fleet: corpus={args.corpus} jobs={len(result.workloads)} "
+        f"workers={config.workers}",
+        f"  completed: {len(result.completed)}, "
+        f"resumed from journal: {len(result.resumed)}, "
+        f"unfinished: {len(result.unfinished)}",
+    ]
+    if stats:
+        lines.append(
+            f"  respawns: {stats.get('respawns', 0)}, "
+            f"requeues: {stats.get('requeues', 0)}, "
+            f"lease expiries: {stats.get('lease_expiries', 0)}, "
+            f"quarantined: {len(stats.get('quarantined', ()))}"
+        )
+    if result.journal_path:
+        lines.append(f"  journal: {result.journal_path}")
+    if not result.finished:
+        lines.append(
+            f"  run truncated after --max-jobs {args.max_jobs}; resume "
+            f"with: fleet --corpus {args.corpus} --modules {args.modules} "
+            f"--journal {args.journal} --resume"
+        )
+        return "\n".join(lines)
+
+    record = result.record(label=args.label)
+    merges = record["merges"]
+    lines.append(
+        f"  merges: {merges}, functions: {len(record['functions'])}, "
+        "record: validated"
+    )
+    if args.verify_serial:
+        serial = serial_corpus_entries(
+            [
+                (name, module.copy(), profile)
+                for name, module, profile in corpus_items
+            ]
+        )
+        drift = compare_against_serial(result.entries, serial)
+        if drift:
+            lines.append("  DECISION DRIFT vs serial:")
+            lines.extend(f"    {problem}" for problem in drift)
+            print("\n".join(lines), file=sys.stderr)
+            raise SystemExit(
+                f"fleet run diverged from serial in {len(drift)} place(s)"
+            )
+        lines.append(
+            f"  verify-serial: {len(serial)} jobs byte-identical to the "
+            "sequential driver"
+        )
+    if args.record:
+        from repro.obs.ledger import Ledger
+
+        ledger = Ledger(args.ledger) if args.ledger else Ledger()
+        digest = ledger.record(record)
+        lines.append(f"  ledger: recorded {digest[:12]} -> {ledger.root}")
+    return "\n".join(lines)
 
 
 def main() -> None:  # console entry point

@@ -94,6 +94,7 @@ def build_suite_record(
     phase_totals: dict[str, float] = {}
     event_counts: dict[str, int] = {}
     rejections: dict[str, int] = {}
+    driver_counters: dict[str, int] = {}
     total_events = 0
     merges = 0
     attempts = 0
@@ -136,6 +137,18 @@ def build_suite_record(
             event_counts[event_name] = event_counts.get(event_name, 0) + count
         for reason, count in rejection_breakdown(trace).items():
             rejections[reason] = rejections.get(reason, 0) + count
+        # Driver recovery counters (``formation_task_retries_total``,
+        # ``fleet_respawns_total``, ...) land in the same registry as the
+        # phase histogram; fold any nonzero ones into the record so a
+        # ledger diff can see recovery activity, not just decisions.
+        for metric_name, entries in registry.snapshot().items():
+            if not metric_name.endswith("_total"):
+                continue
+            for entry in entries:
+                if entry.get("value"):
+                    driver_counters[metric_name] = (
+                        driver_counters.get(metric_name, 0) + entry["value"]
+                    )
         total_events += len(trace)
 
     total_phase = sum(phase_totals.values())
@@ -165,6 +178,7 @@ def build_suite_record(
             "events": total_events,
             "event_counts": event_counts,
             "rejections": rejections,
+            "driver_counters": driver_counters,
         },
         "arena": {"backend": _arena.backend(), **_arena.STORE.counters()},
     }

@@ -52,10 +52,16 @@ from repro.core.convergent import form_function, form_module
 from repro.core.merge import MergeStats
 from repro.ir.function import Function, Module
 from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.sink import MemorySink
 from repro.profiles.data import ProfileData
 from repro.robustness import faultinject
-from repro.robustness.faultinject import FaultPlane, InjectedFault, active_plane
+from repro.robustness.faultinject import (
+    FaultPlane,
+    InjectedFault,
+    active_plane,
+    stable_roll,
+)
 from repro.robustness.guard import (
     FormationReport,
     FunctionReport,
@@ -76,6 +82,46 @@ AUTO_SERIAL_MAX_BLOCKS = 256
 #: attempts.
 DEFAULT_RETRIES = 1
 DEFAULT_BACKOFF = 0.05
+
+#: Ceiling on any single retry delay.  ``backoff * 2**attempt`` must not
+#: grow without bound: a generous retry budget would otherwise turn into
+#: minutes of sleeping on a deterministic crash.
+BACKOFF_CAP = 2.0
+
+#: Driver-level counters promoted from trace-only events so ``stats``
+#: output and ledger-record telemetry see recovery activity, not just
+#: trace readers.
+RETRIES_METRIC = "formation_task_retries_total"
+TIMEOUTS_METRIC = "formation_task_timeouts_total"
+SERIAL_FALLBACKS_METRIC = "formation_serial_fallbacks_total"
+
+
+def retry_delay(
+    backoff: float,
+    attempt: int,
+    task_name: str,
+    cap: float = BACKOFF_CAP,
+) -> float:
+    """Capped exponential backoff with deterministic per-task jitter.
+
+    The jitter factor lives in [0.5, 1.5) and is a pure function of
+    ``(task_name, attempt)``, so simultaneous retries of *different*
+    tasks de-synchronize (they stop hammering a shared resource in lock
+    step) while any given run remains exactly reproducible.
+    """
+    delay = min(cap, backoff * (2 ** attempt))
+    jitter = 0.5 + stable_roll(task_name, "retry", attempt)
+    return min(cap, delay * jitter)
+
+
+def _active_metrics() -> Optional[MetricsRegistry]:
+    """The installed tracer's metrics registry, if any.
+
+    Driver counters follow the same gating as driver trace events: no
+    tracer (or a tracer without metrics) means no bookkeeping cost.
+    """
+    tracer = obs_trace.active_tracer()
+    return tracer.metrics if tracer is not None else None
 
 
 def _total_blocks(modules) -> int:
@@ -168,7 +214,9 @@ def _form_module_task(payload):
 # ---------------------------------------------------------------------------
 
 
-def _worker_failure(task_name: str, stage_error: BaseException) -> TrialFailure:
+def _worker_failure(
+    task_name: str, stage_error: BaseException, attempts: int = 1
+) -> TrialFailure:
     tb = "".join(
         _traceback.format_exception(stage_error)
     ).strip()
@@ -179,6 +227,7 @@ def _worker_failure(task_name: str, stage_error: BaseException) -> TrialFailure:
         error=str(stage_error) or type(stage_error).__name__,
         traceback=tb[-2000:],
         fault_kind=getattr(stage_error, "fault_kind", None),
+        attempts=attempts,
     )
 
 
@@ -211,11 +260,28 @@ class _TaskSupervisor:
         self.futures = {}
         self.payloads = {}
         self.results = {}
+        #: Monotonic wall-clock deadline per task, armed at *submit* time
+        #: (and re-armed on each retry resubmission).  Resolution order
+        #: must not grant extra budget: a task resolved last has been
+        #: running since dispatch, so its clock started then too.
+        self.deadlines = {}
         self.tracer = obs_trace.active_tracer()
+        self.metrics = _active_metrics()
+
+    def _arm_deadline(self, key) -> None:
+        if self.timeout is not None:
+            self.deadlines[key] = time.monotonic() + self.timeout
+
+    def _remaining(self, key) -> Optional[float]:
+        deadline = self.deadlines.get(key)
+        if deadline is None:
+            return None
+        return max(0.0, deadline - time.monotonic())
 
     def submit(self, key, task_name: str, payload) -> None:
         self.payloads[key] = (task_name, payload)
         self.futures[key] = self.pool.submit(self.task_fn, payload)
+        self._arm_deadline(key)
         if self.tracer is not None:
             self.tracer.event("task_dispatch", task=task_name)
 
@@ -228,7 +294,9 @@ class _TaskSupervisor:
         attempt = 0
         while True:
             try:
-                self.results[key] = ("ok", self.futures[key].result(self.timeout))
+                self.results[key] = (
+                    "ok", self.futures[key].result(self._remaining(key))
+                )
                 return
             except BrokenProcessPool:
                 raise  # pool is dead; caller falls back to serial
@@ -240,15 +308,23 @@ class _TaskSupervisor:
                     f"task {task_name!r} exceeded {self.timeout}s wall clock"
                 )
                 timeout_exc.__cause__ = exc
-                self.results[key] = ("failed", _worker_failure(task_name, timeout_exc))
+                self.results[key] = (
+                    "failed",
+                    _worker_failure(task_name, timeout_exc, attempts=attempt + 1),
+                )
                 if tracer is not None:
                     tracer.event(
                         "task_timeout", task=task_name, timeout=self.timeout
                     )
+                if self.metrics is not None:
+                    self.metrics.inc(TIMEOUTS_METRIC)
                 return
             except Exception as exc:
                 if attempt >= self.retries:
-                    self.results[key] = ("failed", _worker_failure(task_name, exc))
+                    self.results[key] = (
+                        "failed",
+                        _worker_failure(task_name, exc, attempts=attempt + 1),
+                    )
                     if tracer is not None:
                         tracer.event(
                             "task_failed",
@@ -257,9 +333,10 @@ class _TaskSupervisor:
                             error_type=type(exc).__name__,
                         )
                     return
-                time.sleep(self.backoff * (2**attempt))
+                time.sleep(retry_delay(self.backoff, attempt, task_name))
                 attempt += 1
                 self.futures[key] = self.pool.submit(self.task_fn, payload)
+                self._arm_deadline(key)
                 if tracer is not None:
                     tracer.event(
                         "task_retry",
@@ -267,6 +344,8 @@ class _TaskSupervisor:
                         attempt=attempt,
                         error_type=type(exc).__name__,
                     )
+                if self.metrics is not None:
+                    self.metrics.inc(RETRIES_METRIC)
 
     def unresolved(self) -> list:
         return [key for key in self.payloads if key not in self.results]
@@ -289,6 +368,9 @@ def _serial_fallback_report(
     tracer = obs_trace.active_tracer()
     if tracer is not None:
         tracer.event("serial_fallback", task=func.name)
+    metrics = _active_metrics()
+    if metrics is not None:
+        metrics.inc(SERIAL_FALLBACKS_METRIC)
     if plane is not None:
         kind = plane.worker_fault(func.name)
         if kind is not None:
@@ -409,6 +491,7 @@ def form_many_parallel(
     task_timeout: Optional[float] = None,
     retries: int = DEFAULT_RETRIES,
     backoff: float = DEFAULT_BACKOFF,
+    driver: str = "pool",
     **form_kwargs,
 ) -> list[tuple[Module, FormationReport]]:
     """Form many independent (module, profile) pairs across a process pool.
@@ -423,19 +506,43 @@ def form_many_parallel(
     report marking every function ``failed_safe``; a broken pool re-runs
     the unfinished modules in-process.
 
+    ``driver`` selects the execution engine behind the same interface:
+    ``"pool"`` (this module's pool-per-run supervisor), ``"fleet"`` (the
+    persistent daemon-worker fleet of :mod:`repro.harness.fleet` — worker
+    death respawns one worker instead of breaking the run), or
+    ``"serial"`` (in-process, the reference).  Bench and selfcheck race
+    drivers against each other through this switch.
+
     Auto mode (``max_workers=None``) stays sequential below
     ``AUTO_SERIAL_MAX_BLOCKS`` total basic blocks, like
     :func:`form_module_parallel`.
     """
+    if driver not in ("pool", "fleet", "serial"):
+        raise ValueError(
+            f"unknown driver {driver!r} (want 'pool', 'fleet' or 'serial')"
+        )
     record_events = form_kwargs.get("record_events", True)
-    if len(items) <= 1 or _auto_serial(
-        (module for module, _ in items), max_workers
+    if (
+        driver == "serial"
+        or len(items) <= 1
+        or _auto_serial((module for module, _ in items), max_workers)
     ):
         out = []
         for module, profile in items:
             report = form_module(module, profile=profile, **form_kwargs)
             out.append((module, report))
         return out
+    if driver == "fleet":
+        from repro.harness.fleet import form_many_fleet
+
+        return form_many_fleet(
+            items,
+            max_workers=max_workers,
+            task_timeout=task_timeout,
+            retries=retries,
+            backoff=backoff,
+            **form_kwargs,
+        )
 
     plane = active_plane()
     tracer = obs_trace.active_tracer()
@@ -519,6 +626,9 @@ def _module_serial_fallback(
     tracer = obs_trace.active_tracer()
     if tracer is not None:
         tracer.event("serial_fallback", task=module.name)
+    metrics = _active_metrics()
+    if metrics is not None:
+        metrics.inc(SERIAL_FALLBACKS_METRIC)
     if plane is not None:
         kind = plane.worker_fault(module.name)
         if kind is not None:

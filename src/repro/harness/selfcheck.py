@@ -51,15 +51,17 @@ def _workload_probes(workload) -> list[BehaviorProbe]:
 def run_selfcheck(
     subset: Optional[list[str]] = None,
     workers: int = 2,
+    driver: str = "pool",
 ) -> dict:
     """Oracle self-check over the SPEC suite (the ``--selfcheck`` gate).
 
     Per workload: form with ``selfcheck="function"`` armed, then run one
     final differential check of the formed module against a fresh
     pre-formation module over the workload's inputs.  With ``workers`` >=
-    2, additionally form every workload through the parallel driver and
-    require its report summary to match the serial one.  Returns a dict
-    with ``ok``, per-workload rows, and a formatted ``report``.
+    2, additionally form every workload through the parallel driver
+    (``driver``: ``"pool"`` or ``"fleet"``) and require its report
+    summary to match the serial one.  Returns a dict with ``ok``,
+    per-workload rows, and a formatted ``report``.
     """
     suite = _suite(subset)
     rows = []
@@ -104,7 +106,9 @@ def run_selfcheck(
 
     drivers_equal = True
     if workers and workers > 1:
-        par_results = form_many_parallel(parallel_items, max_workers=workers)
+        par_results = form_many_parallel(
+            parallel_items, max_workers=workers, driver=driver
+        )
         for (name, _), (_, par_report) in zip(suite.items(), par_results):
             if par_report.summary() != serial_reports[name].summary():
                 drivers_equal = False
@@ -115,7 +119,7 @@ def run_selfcheck(
                         "degraded": 0,
                         "failed_safe": 0,
                         "divergences": 1,
-                        "detail": "serial vs parallel report mismatch: "
+                        "detail": f"serial vs {driver} report mismatch: "
                         f"{serial_reports[name].summary()} != "
                         f"{par_report.summary()}",
                     }

@@ -303,6 +303,29 @@ def run_stats(workload: str, top: int = 10) -> str:
                 f"    {phase:<12} n={entry['count']:<6} "
                 f"sum={entry['sum'] * 1e3:.2f}ms"
             )
+
+    # Driver recovery counters (retries/timeouts/serial fallbacks, fleet
+    # respawns/requeues/...) — zero on a clean serial run, so the section
+    # only appears when a parallel driver actually recovered something.
+    recovery = [
+        (name, entry)
+        for name, entries in sorted(snapshot.items())
+        if name.endswith("_total")
+        for entry in entries
+        if entry.get("value")
+    ]
+    if recovery:
+        lines.append("  driver recovery counters:")
+        for name, entry in recovery:
+            labels = entry.get("labels") or {}
+            suffix = (
+                " {" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+                if labels
+                else ""
+            )
+            lines.append(f"    {name}{suffix:<24} {entry['value']}")
     return "\n".join(lines)
 
 

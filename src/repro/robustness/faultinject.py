@@ -38,6 +38,21 @@ class InjectedFault(RuntimeError):
     """An artificial failure raised by a :class:`FaultPlane`."""
 
 
+def stable_roll(seed, *key) -> float:
+    """Uniform [0, 1) hash of ``(seed, *key)``.
+
+    The repo's one idiom for "deterministic randomness": a pure function
+    of its inputs, independent of call order, interpreter hash seed, or
+    process.  The fault plane decides firing sites with it, and the
+    parallel drivers derive retry-backoff jitter from it so repeated runs
+    de-synchronize retries identically.
+    """
+    digest = hashlib.sha256(
+        "|".join((str(seed),) + tuple(str(k) for k in key)).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
 #: Trial-level kinds that raise (containment proof) vs. silently corrupt
 #: (oracle proof).
 RAISING_KINDS = ("optimizer", "commit")
@@ -77,10 +92,7 @@ class FaultPlane:
 
     def _roll(self, *key: str) -> float:
         """Uniform [0, 1) hash of ``(seed, *key)``; order-independent."""
-        digest = hashlib.sha256(
-            "|".join((str(self.seed),) + key).encode()
-        ).digest()
-        return int.from_bytes(digest[:8], "big") / 2**64
+        return stable_roll(self.seed, *key)
 
     def _targets(self, func_name: str) -> bool:
         return self.functions is None or func_name in self.functions

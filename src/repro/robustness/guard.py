@@ -65,6 +65,9 @@ class TrialFailure:
     traceback: str = ""
     ir_hash: str = ""  # sha256 of the printed function at failure time
     fault_kind: Optional[str] = None  # set when injected by a FaultPlane
+    #: How many executions were burned before the failure was written off
+    #: (> 1 only for retried worker tasks / requeued fleet leases).
+    attempts: int = 1
 
     @classmethod
     def from_exception(

@@ -1,0 +1,326 @@
+"""The self-healing fleet driver: containment, respawn, quarantine, resume.
+
+Fleet runs here spawn real daemon worker processes (``spawn`` start
+method), so the corpora are kept small and the supervision clocks tight.
+The journal tests exercise :class:`RunJournal` in-process — no workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.convergent import form_module
+from repro.harness.fleet import (
+    FleetConfig,
+    FleetError,
+    RunJournal,
+    build_corpus,
+    compare_against_serial,
+    corpus_config_fingerprint,
+    form_many_fleet,
+    run_fleet_corpus,
+    run_fleet_drill,
+    serial_corpus_entries,
+)
+from repro.harness.parallel import form_many_parallel
+from repro.ir.function import Module
+from repro.ir.printer import format_module
+from repro.obs.ledger import validate_record
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import MemorySink
+from repro.obs.trace import Tracer, tracing
+from repro.robustness.faultinject import FaultPlane, injected
+from repro.robustness.guard import FunctionStatus
+from repro.workloads.generators import random_program
+
+
+def _fast_config(**overrides) -> FleetConfig:
+    """Supervision clocks tightened for test wall time."""
+    knobs = dict(
+        workers=2,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=2.0,
+        poll_interval=0.02,
+        retries=1,
+        backoff=0.02,
+    )
+    knobs.update(overrides)
+    return FleetConfig(**knobs)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    """Three deterministic 10x-tier modules with profiles (built once)."""
+    return build_corpus("10x", modules=3, seed=2006)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(small_corpus):
+    """The uninterrupted in-process run the fleet must be identical to."""
+    return serial_corpus_entries(
+        [(name, module.copy(), profile) for name, module, profile in small_corpus]
+    )
+
+
+def _named_modules(count: int) -> list[tuple[Module, None]]:
+    items = []
+    for index in range(count):
+        module = random_program(30 + index)
+        module.name = f"mod_{index:03d}"
+        items.append((module, None))
+    return items
+
+
+# ---------------------------------------------------------------------------
+# happy path: fleet == serial, record validates
+# ---------------------------------------------------------------------------
+
+
+def test_fleet_corpus_is_bit_identical_to_serial(small_corpus, serial_reference):
+    result = run_fleet_corpus(small_corpus, config=_fast_config())
+    assert result.finished
+    assert result.resumed == []
+    assert sorted(result.completed) == sorted(result.workloads)
+    assert compare_against_serial(result.entries, serial_reference) == []
+    record = result.record(label="test")
+    validate_record(record)  # raises LedgerError on any schema problem
+    assert record["telemetry"]["fleet"]["jobs_ok"] == len(small_corpus)
+    assert record["telemetry"]["fleet"]["respawns"] == 0
+
+
+def test_driver_switch_matches_sequential_formation():
+    items = _named_modules(3)
+    pristine = [format_module(module) for module, _ in items]
+    controls = []
+    for module, _ in items:
+        control = module.copy()
+        form_module(control)
+        controls.append(control)
+    results = form_many_parallel(
+        items, max_workers=2, driver="fleet", backoff=0.01
+    )
+    assert len(results) == len(items)
+    for control, (formed, report) in zip(controls, results):
+        assert report.all_ok
+        assert format_module(formed) == format_module(control)
+    # The caller's input modules come back untouched (pool-driver contract).
+    for (module, _), before in zip(items, pristine):
+        assert format_module(module) == before
+
+
+# ---------------------------------------------------------------------------
+# fault containment: kill respawns + quarantines, stall expires the lease
+# ---------------------------------------------------------------------------
+
+
+def test_worker_kill_is_contained_and_telemetered():
+    """A job that kills its worker twice is quarantined; siblings form
+    exactly as sequential, and the supervision shows up in trace+metrics."""
+    items = _named_modules(3)
+    controls = {}
+    for module, _ in items:
+        control = module.copy()
+        form_module(control)
+        controls[module.name] = control
+    plane = FaultPlane(
+        rate=1.0, seed=0, kinds=(), worker_kinds=("kill",),
+        functions=frozenset({"mod_001"}),
+    )
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=(MemorySink(),), metrics=registry)
+    with tracing(tracer), injected(plane):
+        results = form_many_parallel(
+            items, max_workers=2, driver="fleet", backoff=0.01
+        )
+    poisoned_module, poisoned_report = results[1]
+    assert poisoned_report.failed_safe_functions == list(
+        poisoned_module.functions
+    )
+    failure = poisoned_report.failures[0]
+    assert failure.error_type == "WorkerDeath"
+    assert failure.fault_kind == "kill"
+    # One poison job costs one job: siblings are formed, not degraded.
+    for index in (0, 2):
+        formed, report = results[index]
+        assert report.all_ok
+        assert format_module(formed) == format_module(controls[formed.name])
+
+    counts = tracer.finish().event_counts()
+    assert counts.get("worker_spawn", 0) >= 3  # 2 boots + >=1 respawn
+    assert counts.get("worker_death", 0) >= 2  # killed twice, then quarantine
+    assert counts.get("lease_requeue", 0) >= 1
+    assert counts.get("job_quarantined", 0) == 1
+    snapshot = registry.snapshot()
+
+    def total(name):
+        return sum(entry["value"] for entry in snapshot.get(name, ()))
+
+    assert total("fleet_respawns_total") >= 1
+    assert total("fleet_quarantined_total") == 1
+    assert total("fleet_requeues_total") >= 1
+    # The fleet never falls back to in-process serial formation.
+    assert total("formation_serial_fallbacks_total") == 0
+
+
+def test_worker_stall_expires_the_lease():
+    """A wedged worker (paused heartbeat) is detected by heartbeat age,
+    killed, and its lease resolved — the driver never waits out the stall."""
+    items = _named_modules(2)
+    plane = FaultPlane(
+        rate=1.0, seed=0, kinds=(), worker_kinds=("stall",),
+        functions=frozenset({"mod_001"}), stall_seconds=20.0,
+    )
+    config = _fast_config(
+        heartbeat_timeout=0.5, retries=0, quarantine_after=1
+    )
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=(MemorySink(),), metrics=registry)
+    start = time.monotonic()
+    with tracing(tracer), injected(plane):
+        results = form_many_fleet(
+            items, max_workers=2, config=config, backoff=0.01
+        )
+    assert time.monotonic() - start < 15.0  # did not sleep the 20s stall
+    _, stalled_report = results[1]
+    failure = stalled_report.failures[0]
+    assert stalled_report.status_of(
+        list(items[1][0].functions)[0]
+    ) is FunctionStatus.FAILED_SAFE
+    assert failure.error_type == "LeaseExpired"
+    assert failure.fault_kind == "stall"
+    assert results[0][1].all_ok
+    counts = tracer.finish().event_counts()
+    assert counts.get("lease_expired", 0) >= 1
+    snapshot = registry.snapshot()
+    expiries = sum(
+        entry["value"]
+        for entry in snapshot.get("fleet_lease_expiries_total", ())
+    )
+    assert expiries >= 1
+
+
+def test_fleet_drill_kill_containment():
+    """The suite-wide drill passes on a corpus where the plane provably
+    lands a kill: untouched modules drift-free, touched quarantined."""
+    names = [f"10x_{index:03d}" for index in range(4)]
+    rate, fault_seed = 0.25, None
+    for seed in range(64):
+        plane = FaultPlane(rate=rate, seed=seed, kinds=(), worker_kinds=("kill",))
+        hits = [name for name in names if plane.worker_fault(name) == "kill"]
+        if len(hits) == 1:
+            fault_seed = seed
+            break
+    assert fault_seed is not None, "no seed lands exactly one kill"
+    result = run_fleet_drill(
+        corpus="10x",
+        modules=4,
+        workers=2,
+        rate=rate,
+        fault_seed=fault_seed,
+        worker_kinds=("kill",),
+    )
+    assert result["ok"], result["report"]
+    assert list(result["touched"].values()) == ["kill"]
+    assert result["stats"]["respawns"] >= 1
+    [touched_name] = result["touched"]
+    assert result["stats"]["quarantined"] == [touched_name]
+    entry = result["entries"][touched_name]
+    assert entry["status"] == "failed_safe"
+    assert entry["failure"]["fault_kind"] == "kill"
+
+
+# ---------------------------------------------------------------------------
+# the run journal: resume, torn tails, config binding
+# ---------------------------------------------------------------------------
+
+
+def test_killed_driver_resumes_from_journal(
+    tmp_path, small_corpus, serial_reference
+):
+    journal = str(tmp_path / "run.jsonl")
+    fingerprint = corpus_config_fingerprint("10x", 3, 2006, None)
+    first = run_fleet_corpus(
+        small_corpus,
+        config=_fast_config(),
+        journal_path=journal,
+        config_fingerprint=fingerprint,
+        stop_after=1,
+    )
+    assert not first.finished
+    assert len(first.completed) == 1
+    with pytest.raises(FleetError):
+        first.record()  # unfinished runs must not produce a record
+    # A driver killed mid-write leaves a torn final line; resume drops it.
+    with open(journal, "a") as handle:
+        handle.write('{"job": "10x_002", "entry": {"trunca')
+    resumed = run_fleet_corpus(
+        small_corpus,
+        config=_fast_config(),
+        journal_path=journal,
+        resume=True,
+        config_fingerprint=fingerprint,
+    )
+    assert resumed.finished
+    assert resumed.resumed == sorted(first.completed)
+    assert sorted(resumed.completed) == sorted(
+        set(resumed.workloads) - set(first.completed)
+    )
+    # The merged record is bit-identical to the uninterrupted serial run.
+    assert compare_against_serial(resumed.entries, serial_reference) == []
+    validate_record(resumed.record(label="resumed"))
+
+
+def test_journal_refuses_a_different_corpus(tmp_path, small_corpus):
+    journal = str(tmp_path / "run.jsonl")
+    run_fleet_corpus(
+        small_corpus,
+        config=_fast_config(),
+        journal_path=journal,
+        config_fingerprint="aaaa000011112222",
+        stop_after=1,
+    )
+    with pytest.raises(FleetError, match="differs"):
+        run_fleet_corpus(
+            small_corpus,
+            journal_path=journal,
+            resume=True,
+            config_fingerprint="bbbb000011112222",
+        )
+
+
+def test_run_journal_torn_tail_is_dropped(tmp_path):
+    journal = RunJournal(str(tmp_path / "j.jsonl"))
+    journal.create("feedbeef00000000")
+    journal.append("job_a", {"status": "ok", "functions": {}})
+    with open(journal.path, "a") as handle:
+        handle.write('{"job": "job_b", "entry"')  # torn mid-write
+    header, done = journal.load()
+    assert header["config_fingerprint"] == "feedbeef00000000"
+    assert list(done) == ["job_a"]
+
+
+def test_run_journal_rejects_corruption_before_the_tail(tmp_path):
+    journal = RunJournal(str(tmp_path / "j.jsonl"))
+    journal.create("feedbeef00000000")
+    with open(journal.path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"job": "job_a", "entry": {"status": "ok"}}\n')
+    with pytest.raises(FleetError):
+        journal.load()
+
+
+def test_resume_without_a_journal_refuses(tmp_path):
+    journal = RunJournal(str(tmp_path / "missing.jsonl"))
+    with pytest.raises(FleetError):
+        journal.resume_or_create("feedbeef00000000", resume=True)
+
+
+def test_config_fingerprint_binds_faults_not_scheduling():
+    base = corpus_config_fingerprint("10x", 3, 2006, None)
+    assert base == corpus_config_fingerprint("10x", 3, 2006, None)
+    assert base != corpus_config_fingerprint("10x", 4, 2006, None)
+    assert base != corpus_config_fingerprint("10x", 3, 2007, None)
+    plane = FaultPlane(rate=0.1, seed=2, kinds=(), worker_kinds=("kill",))
+    assert base != corpus_config_fingerprint("10x", 3, 2006, plane)

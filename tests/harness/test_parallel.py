@@ -229,6 +229,158 @@ def test_form_many_parallel_survives_a_poisoned_module():
     assert format_module(results[1][0]) == format_module(items[1][0])
 
 
+def test_retry_exhaustion_lands_one_failure_with_attempts():
+    """A deterministic raise burns the whole retry budget, then lands
+    exactly one TrialFailure recording the attempt count."""
+    from repro.robustness.faultinject import FaultPlane, injected
+    from repro.robustness.guard import FunctionStatus
+
+    par = _combo_module()
+    plane = FaultPlane(
+        rate=1.0, seed=0, worker_kinds=("raise",), functions=frozenset({"f1"})
+    )
+    with injected(plane):
+        report = form_module_parallel(
+            par, max_workers=2, retries=2, backoff=0.01
+        )
+    assert report.status_of("f1") is FunctionStatus.FAILED_SAFE
+    failures = report.functions["f1"].failures
+    assert len(failures) == 1
+    assert failures[0].attempts == 3  # 1 first try + 2 retries
+    assert failures[0].error_type == "InjectedFault"
+
+
+def test_retry_and_timeout_counters_reach_the_metrics_registry():
+    """Driver recovery is visible as counters, not just trace events."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sink import MemorySink
+    from repro.obs.trace import Tracer, tracing
+    from repro.robustness.faultinject import FaultPlane, injected
+
+    def totals(registry, name):
+        return sum(
+            entry["value"] for entry in registry.snapshot().get(name, ())
+        )
+
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=(MemorySink(),), metrics=registry)
+    plane = FaultPlane(
+        rate=1.0, seed=0, worker_kinds=("raise",), functions=frozenset({"f1"})
+    )
+    with tracing(tracer), injected(plane):
+        form_module_parallel(
+            _combo_module(), max_workers=2, retries=2, backoff=0.01
+        )
+    import repro.harness.parallel as parallel_mod
+
+    assert totals(registry, parallel_mod.RETRIES_METRIC) == 2
+    assert totals(registry, parallel_mod.TIMEOUTS_METRIC) == 0
+
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=(MemorySink(),), metrics=registry)
+    plane = FaultPlane(
+        rate=1.0,
+        seed=0,
+        worker_kinds=("stall",),
+        functions=frozenset({"f2"}),
+        stall_seconds=5.0,
+    )
+    with tracing(tracer), injected(plane):
+        report = form_module_parallel(
+            _combo_module(), max_workers=2, task_timeout=1.0
+        )
+    assert totals(registry, parallel_mod.TIMEOUTS_METRIC) == 1
+    assert report.functions["f2"].failures[0].attempts == 1
+
+
+def test_broken_pool_fallback_with_active_tracer_and_metrics():
+    """The serial fallback works under a live tracer: fallback events and
+    the fallback counter land, and sibling fragments still absorb."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.sink import MemorySink
+    from repro.obs.trace import Tracer, tracing
+    from repro.robustness.faultinject import FaultPlane, injected
+    from repro.robustness.guard import FunctionStatus
+
+    import repro.harness.parallel as parallel_mod
+
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=(MemorySink(),), metrics=registry)
+    par = _combo_module()
+    plane = FaultPlane(
+        rate=1.0, seed=0, worker_kinds=("kill",), functions=frozenset({"f3"})
+    )
+    with tracing(tracer), injected(plane):
+        report = form_module_parallel(par, max_workers=2, backoff=0.01)
+    assert report.status_of("f3") is FunctionStatus.FAILED_SAFE
+    for name in ("f0", "f1", "f2"):
+        assert report.status_of(name) is FunctionStatus.OK
+    counts = tracer.finish().event_counts()
+    assert counts.get("serial_fallback", 0) >= 1
+    fallbacks = sum(
+        entry["value"]
+        for entry in registry.snapshot().get(
+            parallel_mod.SERIAL_FALLBACKS_METRIC, ()
+        )
+    )
+    assert fallbacks >= 1
+
+
+def test_retry_delay_is_capped_and_deterministic():
+    import repro.harness.parallel as parallel_mod
+    from repro.harness.parallel import BACKOFF_CAP, retry_delay
+
+    # Huge attempt counts must not sleep for minutes.
+    assert retry_delay(0.05, 40, "task_a") <= BACKOFF_CAP
+    assert retry_delay(10.0, 0, "task_a") <= BACKOFF_CAP
+    # Deterministic per (task, attempt); jittered across tasks/attempts.
+    assert retry_delay(0.05, 1, "task_a") == retry_delay(0.05, 1, "task_a")
+    delays = {
+        retry_delay(0.05, 1, f"task_{i}") for i in range(8)
+    }
+    assert len(delays) > 1  # de-synchronized, not lock-step
+    # The jitter factor lives in [0.5, 1.5) of the capped exponential.
+    base = min(BACKOFF_CAP, 0.05 * 2)
+    delay = retry_delay(0.05, 1, "task_b")
+    assert 0.5 * base <= delay < 1.5 * base
+    assert parallel_mod.DEFAULT_BACKOFF < BACKOFF_CAP
+
+
+def test_task_deadlines_are_armed_at_submit():
+    """Timeout budget starts at dispatch, not at resolve: resolving tasks
+    one by one must not grant each a fresh full timeout."""
+    import threading
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    import repro.harness.parallel as parallel_mod
+
+    timeout = 0.5
+    release = threading.Event()
+    pool = ThreadPoolExecutor(max_workers=4)
+    try:
+        supervisor = parallel_mod._TaskSupervisor(
+            pool, release.wait, timeout, retries=0, backoff=0.01
+        )
+        for key in range(3):
+            supervisor.submit(key, f"sleeper_{key}", 30.0)
+        start = time.monotonic()
+        for key in range(3):
+            supervisor.resolve(key)
+        elapsed = time.monotonic() - start
+    finally:
+        release.set()  # unblock the sleepers so shutdown joins promptly
+        pool.shutdown(wait=True)
+    # Per-resolve timeouts would take ~3 * timeout; shared submit-time
+    # deadlines finish in ~1 * timeout.
+    assert elapsed < 2.5 * timeout
+    for key in range(3):
+        status, failure = supervisor.results[key]
+        assert status == "failed"
+        assert failure.error_type == "TimeoutError"
+        assert failure.attempts == 1
+
+
 def test_function_pickle_restamps_versions():
     func = random_program(2).function("main")
     clone = pickle.loads(pickle.dumps(func))
