@@ -14,11 +14,21 @@ per trial — costs at most ~2% of formation time.  This bench measures:
   it can never perturb the numbers the bench reports — ``record_s`` is
   informational pricing, and the disabled-overhead ceiling is the gate
   proving ``--record`` left the timed loops untouched.
+- ``backends``    — the same disabled/enabled pair measured once per
+  available IR analysis backend (legacy / arena / numpy when installed):
+  telemetry cost is relative, so a backend that makes formation faster
+  makes the *ratio* worse even though the absolute cost is unchanged.
+- ``sampler``     — formation under the sampling profiler
+  (:mod:`repro.obs.prof`) at its default hz versus plain formation.
+  The profiler's contract is <= 5% overhead at the default rate; the
+  ``--sampler-ceiling`` gate enforces it.
 
 Run without pytest::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick]
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py --ceiling 1.10
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --sampler-ceiling 1.05
 
 The ``--ceiling`` gate bounds ``overhead_disabled``; the CI job uses a
 generous 1.10x because hosted runners are noisy — the real number on a
@@ -83,6 +93,87 @@ def _measure(subset: Optional[list[str]], repeat: int) -> dict:
     }
 
 
+def run_backend_matrix(
+    subset: Optional[list[str]] = None, repeat: int = 2
+) -> dict:
+    """Disabled/enabled telemetry cost per IR analysis backend.
+
+    ``{backend: {"disabled_s", "enabled_s", "overhead_enabled",
+    "events"}}`` for every backend available on this interpreter.  The
+    caller's backend selection is restored on every exit path.
+    """
+    from repro.ir import arena as _arena
+
+    rows: dict = {}
+    prev = _arena.backend()
+    try:
+        for backend in _arena.available_backends():
+            _arena.set_backend(backend)
+            sample = _measure(subset, repeat)
+            rows[backend] = {
+                "disabled_s": sample["disabled_s"],
+                "enabled_s": sample["enabled_s"],
+                "overhead_enabled": sample["overhead_enabled"],
+                "events": sample["events"],
+            }
+    finally:
+        _arena.set_backend(prev)
+    return rows
+
+
+def run_sampler_overhead(
+    subset: Optional[list[str]] = None,
+    repeat: int = 3,
+    hz: Optional[float] = None,
+) -> dict:
+    """Formation under the sampling profiler vs plain formation.
+
+    Interleaved best-of-``repeat`` at the profiler's default frequency
+    unless ``hz`` overrides it.  ``overhead_sampled`` is the ratio the
+    <= 5% contract bounds.
+    """
+    from repro.core.convergent import form_module
+    from repro.harness.bench import QUICK_SUBSET, prepare_workloads
+    from repro.obs.prof import DEFAULT_HZ, SamplingProfiler
+
+    if hz is None:
+        hz = DEFAULT_HZ
+    prepared = prepare_workloads(subset or list(QUICK_SUBSET))
+
+    def run_suite() -> float:
+        modules = [(w.module(), p) for _, w, p in prepared]
+        start = time.perf_counter()
+        for module, profile in modules:
+            form_module(module, profile=profile, record_events=False)
+        return time.perf_counter() - start
+
+    def sampled_suite() -> tuple[float, int]:
+        modules = [(w.module(), p) for _, w, p in prepared]
+        with SamplingProfiler(hz=hz) as sampler:
+            start = time.perf_counter()
+            for module, profile in modules:
+                form_module(module, profile=profile, record_events=False)
+            elapsed = time.perf_counter() - start
+        return elapsed, sampler.profile.samples
+
+    run_suite()  # warm-up
+    plain = sampled = None
+    samples = 0
+    for _ in range(repeat):
+        sample = run_suite()
+        plain = sample if plain is None else min(plain, sample)
+        sample, n = sampled_suite()
+        sampled = sample if sampled is None else min(sampled, sample)
+        samples = max(samples, n)
+    return {
+        "hz": hz,
+        "plain_s": round(plain, 4),
+        "sampled_s": round(sampled, 4),
+        "overhead_sampled": round(sampled / plain, 3),
+        "samples": samples,
+    }
+
+
 def run_overhead_bench(
     subset: Optional[list[str]] = None, repeat: int = 3
 ) -> dict:
@@ -113,24 +204,41 @@ def run_overhead_bench(
             label="overhead-pricing", ledger_dir=tmp,
         )
         result["record_s"] = round(time.perf_counter() - start, 4)
+    result["backends"] = run_backend_matrix(
+        subset, repeat=max(1, repeat - 1)
+    )
+    result["sampler"] = run_sampler_overhead(subset, repeat=repeat)
     return result
 
 
 def format_report(result: dict) -> str:
-    return "\n".join(
-        [
-            "Telemetry overhead benchmark",
-            f"  workloads: {len(result['workloads'])}, "
-            f"best of {result['repeat']}",
-            f"  disabled telemetry: {result['disabled_s']:.4f}s "
-            f"(noise floor {result['overhead_disabled']:.3f}x)",
-            f"  enabled telemetry:  {result['enabled_s']:.4f}s "
-            f"({result['overhead_enabled']:.3f}x, "
-            f"{result['events']} events)",
-            f"  record pass:        {result['record_s']:.4f}s "
-            f"(untimed by bench --record; informational)",
-        ]
-    )
+    lines = [
+        "Telemetry overhead benchmark",
+        f"  workloads: {len(result['workloads'])}, "
+        f"best of {result['repeat']}",
+        f"  disabled telemetry: {result['disabled_s']:.4f}s "
+        f"(noise floor {result['overhead_disabled']:.3f}x)",
+        f"  enabled telemetry:  {result['enabled_s']:.4f}s "
+        f"({result['overhead_enabled']:.3f}x, "
+        f"{result['events']} events)",
+        f"  record pass:        {result['record_s']:.4f}s "
+        f"(untimed by bench --record; informational)",
+    ]
+    for backend, row in result.get("backends", {}).items():
+        lines.append(
+            f"  backend {backend:<7} disabled {row['disabled_s']:.4f}s, "
+            f"enabled {row['enabled_s']:.4f}s "
+            f"({row['overhead_enabled']:.3f}x)"
+        )
+    sampler = result.get("sampler")
+    if sampler:
+        lines.append(
+            f"  sampling profiler @ {sampler['hz']:g} Hz: "
+            f"{sampler['sampled_s']:.4f}s vs {sampler['plain_s']:.4f}s "
+            f"plain ({sampler['overhead_sampled']:.3f}x, "
+            f"{sampler['samples']} samples)"
+        )
+    return "\n".join(lines)
 
 
 def test_disabled_telemetry_overhead_smoke(benchmark):
@@ -161,6 +269,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--ceiling", type=float, default=None,
         help="fail (exit 1) if overhead_disabled exceeds this ratio",
     )
+    parser.add_argument(
+        "--sampler-ceiling", type=float, default=None, dest="sampler_ceiling",
+        help="fail (exit 1) if the sampling profiler's overhead_sampled "
+        "exceeds this ratio (the contract is 1.05 at the default hz)",
+    )
     parser.add_argument("--json", help="also write the result JSON here")
     args = parser.parse_args(argv)
 
@@ -179,6 +292,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(
             f"overhead ceiling exceeded: {result['overhead_disabled']:.3f}x "
             f"> {args.ceiling:.3f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.sampler_ceiling is not None
+        and result["sampler"]["overhead_sampled"] > args.sampler_ceiling
+    ):
+        print(
+            "sampler overhead ceiling exceeded: "
+            f"{result['sampler']['overhead_sampled']:.3f}x "
+            f"> {args.sampler_ceiling:.3f}x",
             file=sys.stderr,
         )
         return 1

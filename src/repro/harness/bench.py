@@ -149,7 +149,7 @@ def _cache_dict(total, attempts: int) -> dict:
     return result
 
 
-def _collect_telemetry(prepared) -> dict:
+def _collect_telemetry(prepared, registry=None) -> dict:
     """One *untimed* traced pass over the suite: the bench JSON's
     ``telemetry`` section.
 
@@ -157,13 +157,18 @@ def _collect_telemetry(prepared) -> dict:
     inside ``commit``, so commit is charged its total minus the nested
     liveness (see :func:`repro.harness.tracecmd.phase_table`) and the
     shares sum to ~100% of phase-attributed time.
+
+    ``registry`` lets the caller supply the metrics registry the traced
+    pass feeds — ``bench --expose`` passes the exposed one, so a scraper
+    watching the endpoint sees ``formation_*`` series fill in live.
     """
     from repro.harness.tracecmd import phase_table, rejection_breakdown
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.sink import MemorySink
     from repro.obs.trace import Tracer, tracing
 
-    registry = MetricsRegistry()
+    if registry is None:
+        registry = MetricsRegistry()
     tracer = Tracer(sinks=(MemorySink(),), metrics=registry)
     with tracing(tracer):
         for _, workload, profile in prepared:
@@ -234,6 +239,72 @@ def _profile_formation(prepared, top: int = 20) -> list[dict]:
             }
         )
     return rows
+
+
+def _sample_profile_formation(
+    prepared,
+    hz: Optional[float] = None,
+    top: int = 20,
+    out_prefix: Optional[str] = None,
+) -> dict:
+    """One pass over the suite under the sampling profiler
+    (``bench --sample-profile``).
+
+    Like :func:`_profile_formation`, this runs on fresh modules *after*
+    the timed windows, so it can never perturb the recorded numbers.  A
+    private tracer is installed for the pass — not for its events but
+    for its span-name stack, which is what attributes samples to
+    formation phases.  With ``out_prefix``, collapsed-stack text and
+    speedscope JSON are written next to the bench output.
+    """
+    from repro.obs.prof import (
+        DEFAULT_HZ,
+        SamplingProfiler,
+        write_collapsed,
+        write_speedscope,
+    )
+    from repro.obs.sink import MemorySink
+    from repro.obs.trace import Tracer, tracing
+
+    if hz is None:
+        hz = DEFAULT_HZ
+    modules = [(w.module(), p) for _, w, p in prepared]
+    tracer = Tracer(sinks=(MemorySink(),))
+    with tracing(tracer):
+        with SamplingProfiler(hz=hz) as sampler:
+            for module, profile in modules:
+                form_module(module, profile=profile, record_events=False)
+    prof = sampler.profile
+    ranked = sorted(
+        prof.self_times().items(), key=lambda item: (-item[1], item[0])
+    )
+    summary = {
+        "hz": hz,
+        "samples": prof.samples,
+        "duration_s": round(prof.duration, 4),
+        "phase_shares": {
+            phase: round(share, 4)
+            for phase, share in prof.phase_shares().items()
+        },
+        "top": [
+            {
+                "frame": label,
+                "samples": count,
+                "share": round(count / prof.samples, 4)
+                if prof.samples
+                else 0.0,
+            }
+            for label, count in ranked[:top]
+        ],
+    }
+    if out_prefix:
+        collapsed_path = f"{out_prefix}.collapsed.txt"
+        speedscope_path = f"{out_prefix}.speedscope.json"
+        write_collapsed(prof, collapsed_path)
+        write_speedscope(prof, speedscope_path)
+        summary["collapsed_path"] = collapsed_path
+        summary["speedscope_path"] = speedscope_path
+    return summary
 
 
 def _time_parallel(
@@ -461,6 +532,10 @@ def run_bench(
     scale: bool = False,
     profile: bool = False,
     driver: str = "pool",
+    sample_profile: bool = False,
+    sample_hz: Optional[float] = None,
+    sample_out: Optional[str] = None,
+    metrics=None,
 ) -> dict:
     """Run the formation benchmark; returns the BENCH_formation.json dict.
 
@@ -468,6 +543,12 @@ def run_bench(
     :func:`run_scale_bench`); with ``quick`` only the smallest tier runs.
     ``driver`` selects the parallel configuration's engine (``"pool"`` or
     ``"fleet"``), so the two can be raced on identical inputs.
+    ``sample_profile=True`` runs the sampling profiler over an extra
+    untimed pass (``sample_hz`` samples/s; ``sample_out`` is the path
+    prefix for collapsed-stack and speedscope exports).  ``metrics``
+    (a :class:`~repro.obs.metrics.MetricsRegistry`) is fed by the
+    telemetry pass — ``--expose`` hands in the registry its endpoint
+    serves.
     """
     if quick and subset is None:
         subset = list(QUICK_SUBSET)
@@ -557,7 +638,12 @@ def run_bench(
     if profile:
         result["profile_top"] = _profile_formation(prepared)
 
-    result["telemetry"] = _collect_telemetry(prepared)
+    if sample_profile:
+        result["sample_profile"] = _sample_profile_formation(
+            prepared, hz=sample_hz, out_prefix=sample_out
+        )
+
+    result["telemetry"] = _collect_telemetry(prepared, registry=metrics)
     return result
 
 
@@ -642,6 +728,24 @@ def format_report(result: dict) -> str:
                 f"hits, {arena['instrs_stored']} instrs stored, "
                 f"{arena['column_bytes']} column bytes)"
             )
+    sampled = result.get("sample_profile")
+    if sampled:
+        shares = ", ".join(
+            f"{phase} {share:.0%}"
+            for phase, share in sampled["phase_shares"].items()
+        )
+        lines.append(
+            f"  sampled profile: {sampled['samples']} samples @ "
+            f"{sampled['hz']:g} Hz over {sampled['duration_s']:.2f}s; "
+            f"phases: {shares or 'n/a'}"
+        )
+        for row in sampled["top"][:5]:
+            lines.append(
+                f"    {row['samples']:6d} {row['share']:6.1%}  {row['frame']}"
+            )
+        for key in ("collapsed_path", "speedscope_path"):
+            if key in sampled:
+                lines.append(f"    wrote {sampled[key]}")
     rows = result.get("profile_top")
     if rows:
         lines.append(f"  profile (top {len(rows)} by cumulative time):")

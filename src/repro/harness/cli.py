@@ -23,6 +23,10 @@ Usage::
         [--modules 12] [--journal j.jsonl] [--resume] [--max-jobs N] \
         [--verify-serial] [--record]
     python -m repro.harness fleet --drill [--fault-rate 0.1] [--fault-seed 2]
+    python -m repro.harness fleet --corpus 50x --expose 9100
+    python -m repro.harness top [--port 9100] [--interval 1] [--once]
+    python -m repro.harness bench --quick --sample-profile [--sample-hz 100]
+    python -m repro.harness bench --quick --gate-trend
 
 ``selfcheck`` (or the ``--selfcheck`` flag on any target) runs the
 differential-simulation oracle over the suite before the experiment and
@@ -42,6 +46,14 @@ regression beyond ``--threshold``.
 (:mod:`repro.harness.fleet`): journalled, resumable (``--journal`` /
 ``--resume``), verifiable bit-identical to serial (``--verify-serial``).
 ``fleet --drill`` instead runs the kill/stall/raise containment drill.
+
+``--expose PORT`` (fleet/bench/selfcheck) serves ``/metrics`` (Prometheus
+text), ``/healthz`` and ``/snapshot.json`` for the duration of the run;
+``top`` renders a live per-worker terminal view by polling that endpoint
+from another terminal.  ``bench --sample-profile`` runs the stdlib
+sampling profiler over an extra untimed pass; ``bench --gate-trend``
+robust-z scores the run against the bench JSON's own history and fails
+on slow-direction trajectory outliers (:mod:`repro.obs.anomaly`).
 """
 
 from __future__ import annotations
@@ -72,14 +84,15 @@ def run(argv: Optional[list[str]] = None) -> str:
         choices=[
             "table1", "table2", "table3", "figure7", "all", "bench",
             "selfcheck", "trace", "stats", "record", "compare",
-            "backends", "fleet",
+            "backends", "fleet", "top",
         ],
         help="which experiment to regenerate ('bench' times formation, "
         "'selfcheck' runs the differential-simulation oracle, 'trace'/"
         "'stats' record one workload under the decision tracer, "
         "'record' persists a run record to the ledger, 'compare' diffs "
         "two run records, 'backends' lists the IR analysis backends, "
-        "'fleet' runs a corpus on the self-healing worker fleet)",
+        "'fleet' runs a corpus on the self-healing worker fleet, 'top' "
+        "renders a live view of a run started with --expose)",
     )
     parser.add_argument(
         "workload", nargs="?",
@@ -258,9 +271,100 @@ def run(argv: Optional[list[str]] = None) -> str:
         help="compare --history: which bench JSON to read the "
         "trajectory from",
     )
+    parser.add_argument(
+        "--expose", type=int, metavar="PORT", default=None,
+        help="fleet/bench/selfcheck: serve /metrics (Prometheus text), "
+        "/healthz and /snapshot.json on this port for the duration of "
+        "the run (0 = ephemeral; the bound port is printed to stderr)",
+    )
+    parser.add_argument(
+        "--sample-profile", action="store_true", dest="sample_profile",
+        help="bench: run the zero-dependency sampling profiler over an "
+        "extra untimed pass; reports phase shares and hottest frames, "
+        "and writes collapsed-stack + speedscope exports",
+    )
+    parser.add_argument(
+        "--sample-hz", type=float, default=None, dest="sample_hz",
+        help="bench --sample-profile: sampling frequency (default 100)",
+    )
+    parser.add_argument(
+        "--sample-out", default=None, dest="sample_out",
+        help="bench --sample-profile: path prefix for the exports "
+        "(default: derived from --json)",
+    )
+    parser.add_argument(
+        "--gate-trend", action="store_true", dest="gate_trend",
+        help="bench: after writing --json, robust-z score this run "
+        "against the file's own history and exit 1 if it is a "
+        "slow-direction trajectory outlier",
+    )
+    parser.add_argument(
+        "--url", default=None,
+        help="top: metrics endpoint base URL "
+        "(default http://127.0.0.1:<--port>)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=9100,
+        help="top: port of the exposed endpoint on localhost",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="top: seconds between redraws",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=None,
+        help="top: stop after this many redraws (default: run until "
+        "ctrl-c or the endpoint goes away)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="top: print a single plain frame (no ANSI redraw) and exit",
+    )
     args = parser.parse_args(argv)
 
     subset = _parse_subset(args.subset)
+
+    if args.target == "top":
+        from repro.harness.topcmd import run_top
+
+        url = args.url or f"http://127.0.0.1:{args.port}"
+        code = run_top(
+            url, interval=args.interval, frames=args.frames, once=args.once
+        )
+        if code:
+            raise SystemExit(code)
+        return ""
+
+    # --expose: run-scoped observability.  The registry is created here
+    # and handed to the verb; the endpoint lives exactly as long as the
+    # run (daemon thread, closed in the finally).
+    args.metrics = None
+    server = None
+    if args.expose is not None:
+        if args.target not in ("fleet", "bench", "selfcheck"):
+            raise SystemExit(
+                "--expose only applies to the fleet, bench and selfcheck "
+                "verbs"
+            )
+        from repro.obs.expo import expose_registry
+        from repro.obs.metrics import MetricsRegistry
+
+        args.metrics = MetricsRegistry()
+        server = expose_registry(args.metrics, args.expose)
+        print(
+            f"metrics exposed at {server.url}/metrics "
+            f"(also /healthz, /snapshot.json; watch with: "
+            f"python -m repro.harness top --port {server.port})",
+            file=sys.stderr,
+        )
+    try:
+        return _dispatch(args, subset)
+    finally:
+        if server is not None:
+            server.close()
+
+
+def _dispatch(args, subset: Optional[list[str]]) -> str:
 
     if args.target == "backends":
         from repro.ir import arena as _arena
@@ -345,7 +449,9 @@ def run(argv: Optional[list[str]] = None) -> str:
         # Table targets take *microbenchmark* subsets; the oracle runs
         # over SPEC workloads, so only forward SPEC-speaking subsets.
         check_subset = subset if args.target in ("selfcheck", "bench") else None
-        check = run_selfcheck(subset=check_subset, driver=args.driver)
+        check = run_selfcheck(
+            subset=check_subset, driver=args.driver, metrics=args.metrics
+        )
         if not check["ok"]:
             print(check["report"], file=sys.stderr)
             raise SystemExit("selfcheck failed: oracle divergence")
@@ -394,6 +500,9 @@ def run(argv: Optional[list[str]] = None) -> str:
     if args.target == "bench":
         from repro.harness.bench import format_report, run_bench, write_json
 
+        sample_out = args.sample_out
+        if args.sample_profile and sample_out is None and args.json:
+            sample_out = args.json.rsplit(".json", 1)[0] + ".profile"
         result = run_bench(
             subset=subset,
             quick=args.quick,
@@ -403,10 +512,25 @@ def run(argv: Optional[list[str]] = None) -> str:
             scale=args.scale,
             profile=args.profile,
             driver=args.driver,
+            sample_profile=args.sample_profile,
+            sample_hz=args.sample_hz,
+            sample_out=sample_out,
+            metrics=args.metrics,
         )
         if args.json:
             write_json(result, args.json)
         report = format_report(result)
+        trend_ok = True
+        if args.gate_trend:
+            from repro.obs.anomaly import gate_trend
+
+            if not args.json:
+                raise SystemExit(
+                    "--gate-trend needs --json: the history it scores "
+                    "lives in the bench JSON"
+                )
+            trend_ok, trend_report = gate_trend(args.json)
+            report += "\n" + trend_report
         if args.record:
             from repro.harness.ledgercmd import run_record
 
@@ -429,6 +553,12 @@ def run(argv: Optional[list[str]] = None) -> str:
             raise SystemExit(
                 f"bench ceiling exceeded: {result['sequential_fast_s']:.4f}s "
                 f"> {args.ceiling:.4f}s"
+            )
+        if not trend_ok:
+            print(report, file=sys.stderr)
+            raise SystemExit(
+                "bench trend gate failed: this run is a slow-direction "
+                "trajectory outlier (see the trend report above)"
             )
         return report
     sections: list[str] = []
@@ -497,6 +627,7 @@ def _run_fleet_target(args) -> str:
         resume=args.resume,
         config_fingerprint=config_fp,
         stop_after=args.max_jobs,
+        metrics=getattr(args, "metrics", None),
     )
     stats = result.fleet_stats
     lines = [

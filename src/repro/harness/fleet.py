@@ -74,6 +74,7 @@ from repro.obs.ledger import (
     utc_timestamp,
     validate_record,
 )
+from repro.obs import live as obs_live
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import FormationTrace, Tracer, tracing
 from repro.obs.sink import MemorySink
@@ -187,6 +188,14 @@ class Fleet:
         self.metrics = metrics if metrics is not None else (
             self.tracer.metrics if self.tracer is not None else None
         )
+        # Live stream: per-worker snapshots from heartbeat piggybacks
+        # merge into our registry under a worker label (idempotent —
+        # duplicates and reordering on the pipe cannot double-count).
+        self._merger = (
+            obs_live.SnapshotMerger(self.metrics)
+            if self.metrics is not None
+            else None
+        )
         self._ctx = multiprocessing.get_context("spawn")
         self._workers: dict[int, _WorkerHandle] = {}
         self._next_worker_id = 0
@@ -279,6 +288,12 @@ class Fleet:
             "quarantined": sorted(self.quarantined),
             "jobs_ok": self.jobs_ok,
             "jobs_failed": self.jobs_failed,
+            "live_snapshots_applied": (
+                self._merger.applied if self._merger is not None else 0
+            ),
+            "live_snapshots_stale": (
+                self._merger.stale if self._merger is not None else 0
+            ),
         }
 
     # -- the event loop --------------------------------------------------
@@ -417,12 +432,36 @@ class Fleet:
                         HEARTBEAT_AGE_METRIC, now - handle.last_beat
                     )
                 handle.last_beat = now
+                # The live-telemetry piggyback (message[3]) is optional:
+                # pre-live workers send 3-tuples and still supervise fine.
+                if len(message) > 3:
+                    self._live_update(handle, message[3])
             elif tag == "done":
                 handle.last_beat = now
                 self._on_done(handle, message[1], message[2], now)
             elif tag == "failed":
                 handle.last_beat = now
                 self._on_failed(handle, message[1], message[2], now)
+
+    def _worker_label(self, handle: _WorkerHandle) -> str:
+        return f"w{handle.worker_id}"
+
+    def _live_update(self, handle: _WorkerHandle, extras) -> None:
+        """Fold one heartbeat's telemetry piggyback into our registry."""
+        if self.metrics is None or not isinstance(extras, dict):
+            return
+        worker = self._worker_label(handle)
+        if self._merger is not None:
+            self._merger.apply(worker, extras.get("snapshot"))
+        obs_live.record_worker_health(
+            self.metrics,
+            worker,
+            heartbeat_age=0.0,
+            leased=handle.lease is not None,
+            jobs_in_flight=1 if handle.lease is not None else 0,
+            rss=extras.get("rss"),
+            jobs_done=extras.get("jobs_done"),
+        )
 
     def _release(self, handle: _WorkerHandle, job_id) -> Optional[_Job]:
         lease = handle.lease
@@ -595,6 +634,16 @@ class Fleet:
         for handle in list(self._workers.values()):
             if handle.worker_id not in self._workers:
                 continue
+            # Age the health gauges from the supervisor's clock so a
+            # wedged worker shows a *growing* heartbeat age between
+            # beats, not its last happy value.
+            obs_live.record_worker_health(
+                self.metrics,
+                self._worker_label(handle),
+                heartbeat_age=now - handle.last_beat,
+                leased=handle.lease is not None,
+                jobs_in_flight=1 if handle.lease is not None else 0,
+            )
             if not handle.process.is_alive():
                 # Drain any final messages (a result may have raced the
                 # exit) before declaring death.
@@ -1047,6 +1096,7 @@ def run_fleet_corpus(
     resume: bool = False,
     config_fingerprint: str = "",
     stop_after: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
     **form_kwargs,
 ) -> CorpusRunResult:
     """Form a corpus on the fleet, journalling every completed job.
@@ -1057,6 +1107,11 @@ def run_fleet_corpus(
     ``journal_path``, completed jobs are appended as they land and —
     with ``resume=True`` — journalled jobs from a previous (killed)
     driver are skipped, not re-formed.
+
+    ``metrics`` (optional) is the supervisor-side registry the live
+    heartbeat stream merges into — pass the registry backing an
+    ``--expose`` endpoint to watch the run mid-flight.  Defaults to the
+    active tracer's registry, exactly like :class:`Fleet`.
     """
     form_kwargs.setdefault("record_events", False)
     journal = RunJournal(journal_path) if journal_path else None
@@ -1095,7 +1150,7 @@ def run_fleet_corpus(
 
     fleet_stats: dict = {}
     if jobs:
-        with Fleet(config) as fleet:
+        with Fleet(config, metrics=metrics) as fleet:
             fleet.run(jobs, on_complete=on_complete, stop_after=stop_after)
             fleet_stats = fleet.stats()
 

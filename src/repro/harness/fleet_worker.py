@@ -16,14 +16,34 @@ direction  message                       meaning
 sup → wkr  ``("job", job_id, payload)``  lease one job to this worker
 sup → wkr  ``("shutdown",)``             drain and exit cleanly
 wkr → sup  ``("ready", wid, pid)``       worker finished booting
-wkr → sup  ``("heartbeat", wid, job)``   liveness beacon (``job`` =
-                                         currently leased job id or None)
+wkr → sup  ``("heartbeat", wid, job,     liveness beacon (``job`` =
+           extras)``                     currently leased job id or
+                                         None); ``extras`` piggybacks
+                                         live telemetry — see below
 wkr → sup  ``("done", job_id, result)``  ``result = (formed, report,
                                          trace fragment)``
 wkr → sup  ``("failed", job_id, info)``  the job raised; ``info`` is a
                                          plain dict (type/message/
                                          traceback/fault kind)
 ========== ============================ =================================
+
+The heartbeat's ``extras`` dict (new in the live-observability layer;
+old supervisors that index only ``message[0..2]`` still work) carries:
+
+- ``snapshot`` — the next delta-encoded, sequence-numbered metrics
+  snapshot from this worker's :class:`~repro.obs.live.MetricsPublisher`
+  (``None`` when nothing changed since the last beat — an idle worker
+  ships no metric payload at all);
+- ``rss`` — peak resident set size in bytes;
+- ``jobs_done`` — jobs completed by this worker since boot.
+
+Each worker owns one process-local :class:`~repro.obs.metrics.
+MetricsRegistry` for its whole life: per-job tracers feed phase
+histograms into it, job completions bump the ``formation_*`` counters,
+and the publisher streams the cumulative state back on every beat.  The
+supervisor merges the stream per-worker-label into its own registry
+(:class:`~repro.obs.live.SnapshotMerger`), which is what ``--expose``
+serves and ``python -m repro.harness top`` renders.
 
 Job payloads are the pool drivers' payload shape plus a task kind:
 ``(kind, obj, profile, form_kwargs, plane, trace_on)`` with ``kind`` in
@@ -86,12 +106,24 @@ class _Channel:
 
 
 class _Heartbeat:
-    """Daemon thread beating ``("heartbeat", wid, current_job)``."""
+    """Daemon thread beating ``("heartbeat", wid, current_job, extras)``.
 
-    def __init__(self, channel: _Channel, worker_id: int, interval: float):
+    ``extras`` is built fresh per beat by the optional ``extras_fn``
+    callback (the live-telemetry piggyback); a callback failure never
+    silences the beacon — liveness detection outranks telemetry.
+    """
+
+    def __init__(
+        self,
+        channel: _Channel,
+        worker_id: int,
+        interval: float,
+        extras_fn=None,
+    ):
         self.channel = channel
         self.worker_id = worker_id
         self.interval = interval
+        self.extras_fn = extras_fn
         self.current_job = None
         self._paused = threading.Event()
         self._stop = threading.Event()
@@ -113,8 +145,14 @@ class _Heartbeat:
     def _run(self) -> None:
         while not self._stop.is_set():
             if not self._paused.is_set():
+                extras = None
+                if self.extras_fn is not None:
+                    try:
+                        extras = self.extras_fn()
+                    except Exception:
+                        extras = None
                 self.channel.send(
-                    ("heartbeat", self.worker_id, self.current_job)
+                    ("heartbeat", self.worker_id, self.current_job, extras)
                 )
             # wait() instead of sleep(): stop() interrupts immediately.
             self._stop.wait(self.interval)
@@ -157,23 +195,58 @@ def _failure_info(exc: BaseException) -> dict:
     }
 
 
-def _run_job(job_id, payload, heartbeat: _Heartbeat):
+def _publish_job_metrics(metrics, report, fragment) -> None:
+    """Fold one finished job's formation counters into the worker's
+    long-lived registry (the live stream's ``formation_*`` series).
+
+    Reads only the report/fragment the job already produced — no extra
+    work happens inside formation itself, so the decision stream is
+    untouched.
+    """
+    if metrics is None:
+        return
+    stats = getattr(report, "stats", None)
+    if stats is not None:
+        metrics.inc("formation_merges_total", stats.merges)
+        metrics.inc("formation_attempts_total", stats.attempts)
+        metrics.inc("formation_rejected_total", stats.rejected_illegal)
+        cache = stats.cache
+        if cache is not None:
+            metrics.inc("formation_trial_cache_total", cache.trial_hits,
+                        outcome="hit")
+            metrics.inc("formation_trial_cache_total", cache.trial_misses,
+                        outcome="miss")
+            metrics.inc("formation_use_kill_cache_total",
+                        cache.use_kill_hits, outcome="hit")
+            metrics.inc("formation_use_kill_cache_total",
+                        cache.use_kill_misses, outcome="miss")
+    for event in fragment or ():
+        if event.name == "reject":
+            metrics.inc(
+                "formation_rejections_total",
+                reason=event.attrs.get("reason", "unknown"),
+            )
+
+
+def _run_job(job_id, payload, heartbeat: _Heartbeat, metrics=None):
     """Execute one leased job; returns the message to send back.
 
     Mirrors the pool workers' task bodies (install plane + tracer, form,
     collect the trace fragment) but never lets an exception escape: a
     raising job becomes a ``failed`` message, and the worker lives on to
-    take the next lease.
+    take the next lease.  ``metrics`` is the worker's persistent
+    registry: the per-job tracer feeds phase histograms into it, and the
+    finished job's counters are folded in for the live stream.
     """
     # Imported lazily so a worker that only ever relays faults does not
     # pay for the formation stack — and to keep boot (hence respawn
     # latency) dominated by interpreter start-up alone.
     from repro.core.convergent import form_function, form_module
-    from repro.harness.parallel import _worker_tracer
+    from repro.harness.parallel import _collect_fragment, _worker_tracer
     from repro.obs import trace as obs_trace
 
     kind, obj, profile, form_kwargs, plane, trace_on = payload
-    tracer = _worker_tracer(trace_on)
+    tracer = _worker_tracer(trace_on, metrics=metrics)
     try:
         try:
             if plane is not None:
@@ -191,18 +264,37 @@ def _run_job(job_id, payload, heartbeat: _Heartbeat):
             if tracer is not None:
                 obs_trace.clear()
     except Exception as exc:
-        fragment = tracer.collected_events() if tracer is not None else None
+        fragment = _collect_fragment(tracer)
         info = _failure_info(exc)
         info["fragment"] = fragment
         return ("failed", job_id, info)
-    fragment = tracer.collected_events() if tracer is not None else None
+    fragment = _collect_fragment(tracer)
+    _publish_job_metrics(metrics, report, fragment)
     return ("done", job_id, (obj, report, fragment))
 
 
 def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
     """Entry point of a fleet worker process: beat, lease, form, repeat."""
+    from repro.obs.live import MetricsPublisher, rss_bytes
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    publisher = MetricsPublisher(registry)
+    jobs_done = [0]
+
+    def _beat_extras() -> dict:
+        # Runs on the heartbeat thread; snapshot() tolerates the job
+        # thread mutating the registry concurrently (see obs.live).
+        return {
+            "snapshot": publisher.snapshot(),
+            "rss": rss_bytes(),
+            "jobs_done": jobs_done[0],
+        }
+
     channel = _Channel(conn)
-    heartbeat = _Heartbeat(channel, worker_id, heartbeat_interval)
+    heartbeat = _Heartbeat(
+        channel, worker_id, heartbeat_interval, extras_fn=_beat_extras
+    )
     heartbeat.start()
     channel.send(("ready", worker_id, os.getpid()))
     try:
@@ -217,8 +309,9 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
                 continue  # unknown tags are ignored, not fatal
             _, job_id, payload = message
             heartbeat.current_job = job_id
-            reply = _run_job(job_id, payload, heartbeat)
+            reply = _run_job(job_id, payload, heartbeat, metrics=registry)
             heartbeat.current_job = None
+            jobs_done[0] += 1
             if not channel.send(reply):
                 break  # result undeliverable: supervisor is gone
     finally:

@@ -41,6 +41,7 @@ back to them for trivial inputs or ``max_workers=1``.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -158,19 +159,44 @@ def _apply_worker_fault(plane: FaultPlane, task_name: str) -> None:
     raise exc
 
 
-def _worker_tracer(trace_on: bool):
+def _worker_tracer(trace_on: bool, metrics=None):
     """Install a fragment tracer in a pool worker when the parent traces.
 
     Workers do not inherit the parent's installed tracer (the ``spawn``
     start method starts from a fresh interpreter), so each traced task
     builds its own in-memory tracer and ships the collected events back
     inside the task result for the parent to :meth:`Tracer.absorb`.
+
+    ``metrics`` (fleet workers pass their process-local registry) makes
+    phase spans feed ``formation_phase_seconds`` worker-side, where the
+    live snapshot stream picks them up.
     """
     if not trace_on:
         return None
-    tracer = obs_trace.Tracer(sinks=(MemorySink(),))
+    tracer = obs_trace.Tracer(sinks=(MemorySink(),), metrics=metrics)
     obs_trace.install(tracer)
     return tracer
+
+
+def _collect_fragment(tracer):
+    """Worker-side fragment pickup, stamped with the worker's real pid
+    and thread id.
+
+    The stamps let the Chrome exporter lane fleet/pool work as one track
+    per worker process instead of one interleaved track.  They are
+    fingerprint-safe by construction: :func:`repro.obs.ledger.
+    decision_entry` projects a fixed attribute set that never includes
+    ``pid``/``tid``.
+    """
+    if tracer is None:
+        return None
+    events = tracer.collected_events()
+    pid = os.getpid()
+    tid = threading.get_ident()
+    for event in events:
+        event.attrs.setdefault("pid", pid)
+        event.attrs.setdefault("tid", tid)
+    return events
 
 
 def _form_one(payload):
@@ -187,8 +213,7 @@ def _form_one(payload):
             faultinject.clear()
         if tracer is not None:
             obs_trace.clear()
-    fragment = tracer.collected_events() if tracer is not None else None
-    return func, report, fragment
+    return func, report, _collect_fragment(tracer)
 
 
 def _form_module_task(payload):
@@ -205,8 +230,7 @@ def _form_module_task(payload):
             faultinject.clear()
         if tracer is not None:
             obs_trace.clear()
-    fragment = tracer.collected_events() if tracer is not None else None
-    return module, report, fragment
+    return module, report, _collect_fragment(tracer)
 
 
 # ---------------------------------------------------------------------------

@@ -52,6 +52,7 @@ def run_selfcheck(
     subset: Optional[list[str]] = None,
     workers: int = 2,
     driver: str = "pool",
+    metrics=None,
 ) -> dict:
     """Oracle self-check over the SPEC suite (the ``--selfcheck`` gate).
 
@@ -62,6 +63,11 @@ def run_selfcheck(
     (``driver``: ``"pool"`` or ``"fleet"``) and require its report
     summary to match the serial one.  Returns a dict with ``ok``,
     per-workload rows, and a formatted ``report``.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) receives
+    the per-workload tracers' phase histograms — ``selfcheck --expose``
+    hands in the registry its endpoint serves so a scraper can watch the
+    check progress.
     """
     suite = _suite(subset)
     rows = []
@@ -80,7 +86,7 @@ def run_selfcheck(
         # Each workload forms under its own tracer, so a failure can be
         # explained from the decision record: the probe that caught the
         # divergence and the last merge accepted before it.
-        with tracing(Tracer()) as tracer:
+        with tracing(Tracer(metrics=metrics)) as tracer:
             report = form_module(
                 module,
                 profile=profiles[name],

@@ -1,0 +1,265 @@
+"""``python -m repro.harness top`` — live fleet view over the metrics
+endpoint.
+
+Polls ``/snapshot.json`` from a run started with ``--expose PORT``
+(fleet, bench or selfcheck) and redraws an ANSI terminal view: one row
+per worker (lease state, heartbeat age, jobs done, throughput, RSS,
+merges) over a totals header (jobs, requeues, quarantines, rejection
+breakdown, cache hit rates, phase shares).  ``top`` is a pure *reader*
+— it talks HTTP to the exposition endpoint and can run from a different
+terminal, a different user, or not at all; the run neither knows nor
+cares.
+
+Rendering is plain ANSI (cursor-home + clear-to-end per frame, no
+curses) so it works over ssh and inside CI logs; ``--once`` prints a
+single frame without any escape codes, which is also what the tests
+exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.obs import live as obs_live
+
+#: Redraw: cursor home + erase-below keeps the frame flicker-free
+#: (a full-screen erase per frame makes terminals blink).
+ANSI_HOME_CLEAR = "\x1b[H\x1b[J"
+
+DEFAULT_INTERVAL = 1.0
+
+
+def fetch_snapshot(url: str, timeout: float = 2.0) -> dict:
+    """GET ``<url>/snapshot.json`` (raises ``urllib.error.URLError``)."""
+    with urllib.request.urlopen(
+        url.rstrip("/") + "/snapshot.json", timeout=timeout
+    ) as response:
+        return json.loads(response.read().decode())
+
+
+def _metric_value(snapshot: dict, name: str, **labels) -> float:
+    """Sum of ``name``'s entries matching the given label subset."""
+    total = 0.0
+    for entry in snapshot.get(name, ()):
+        entry_labels = entry.get("labels", {})
+        if all(entry_labels.get(k) == v for k, v in labels.items()):
+            total += entry.get("value", entry.get("sum", 0.0)) or 0.0
+    return total
+
+
+def _label_totals(snapshot: dict, name: str, label: str) -> dict[str, float]:
+    """``{label value: summed count}`` across one metric's entries."""
+    out: dict[str, float] = {}
+    for entry in snapshot.get(name, ()):
+        key = entry.get("labels", {}).get(label)
+        if key is not None:
+            value = entry.get("value", entry.get("count", 0)) or 0
+            out[key] = out.get(key, 0.0) + value
+    return out
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GiB"
+
+
+def _hit_rate(snapshot: dict, name: str) -> Optional[float]:
+    hits = _metric_value(snapshot, name, outcome="hit")
+    misses = _metric_value(snapshot, name, outcome="miss")
+    total = hits + misses
+    return hits / total if total else None
+
+
+def render_top(
+    snapshot: dict,
+    previous: Optional[dict] = None,
+    interval: float = DEFAULT_INTERVAL,
+) -> str:
+    """One frame of the live view as plain text (no escape codes).
+
+    ``previous`` (the prior poll's snapshot) turns cumulative counters
+    into rates — per-worker throughput is the ``jobs_done`` delta over
+    the poll interval.
+    """
+    lines: list[str] = []
+
+    jobs_ok = _metric_value(snapshot, "fleet_jobs_total", outcome="ok")
+    jobs_failed = _metric_value(
+        snapshot, "fleet_jobs_total", outcome="failed"
+    )
+    requeues = _metric_value(snapshot, "fleet_requeues_total")
+    quarantined = _metric_value(snapshot, "fleet_quarantined_total")
+    respawns = _metric_value(snapshot, "fleet_respawns_total")
+    merges = _metric_value(snapshot, "formation_merges_total")
+    attempts = _metric_value(snapshot, "formation_attempts_total")
+    lines.append(
+        f"formation fleet — jobs {jobs_ok:.0f} ok / {jobs_failed:.0f} "
+        f"failed | requeues {requeues:.0f} | respawns {respawns:.0f} | "
+        f"quarantined {quarantined:.0f} | merges {merges:.0f} "
+        f"(attempts {attempts:.0f})"
+    )
+
+    rejections = _label_totals(
+        snapshot, "formation_rejections_total", "reason"
+    )
+    if rejections:
+        breakdown = ", ".join(
+            f"{reason} {count:.0f}"
+            for reason, count in sorted(
+                rejections.items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(f"rejections: {breakdown}")
+    caches = []
+    trial = _hit_rate(snapshot, "formation_trial_cache_total")
+    if trial is not None:
+        caches.append(f"trial memo {trial:.0%}")
+    use_kill = _hit_rate(snapshot, "formation_use_kill_cache_total")
+    if use_kill is not None:
+        caches.append(f"use/kill {use_kill:.0%}")
+    if caches:
+        lines.append("cache hit rates: " + ", ".join(caches))
+
+    phases = _label_totals(snapshot, "formation_phase_seconds", "phase")
+    total_phase = sum(phases.values())
+    if total_phase > 0:
+        shares = ", ".join(
+            f"{phase} {dur / total_phase:.0%}"
+            for phase, dur in sorted(phases.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"phase time: {shares}")
+
+    workers = obs_live.worker_series(snapshot)
+    prev_workers = (
+        obs_live.worker_series(previous) if previous else {}
+    )
+    if workers:
+        lines.append("")
+        lines.append(
+            f"{'worker':<8} {'lease':<6} {'hb age':>8} {'done':>6} "
+            f"{'jobs/s':>7} {'rss':>10} {'merges':>7} {'rejects':>8}"
+        )
+        for worker in sorted(workers, key=_worker_sort_key):
+            row = workers[worker]
+            leased = _row_value(row, obs_live.WORKER_LEASE_STATE_GAUGE)
+            hb_age = _row_value(
+                row, obs_live.WORKER_HEARTBEAT_AGE_GAUGE
+            )
+            done = _row_value(row, obs_live.WORKER_JOBS_DONE_GAUGE)
+            rss = _row_value(row, obs_live.WORKER_RSS_GAUGE)
+            prev_done = _row_value(
+                prev_workers.get(worker, {}), obs_live.WORKER_JOBS_DONE_GAUGE
+            )
+            rate = (
+                max(0.0, done - prev_done) / interval
+                if previous is not None and interval > 0
+                else 0.0
+            )
+            worker_merges = sum(
+                entry.get("value", 0) or 0
+                for key, entry in row.items()
+                if key.startswith("formation_merges_total")
+            )
+            worker_rejects = sum(
+                entry.get("value", 0) or 0
+                for key, entry in row.items()
+                if key.startswith("formation_rejections_total")
+            )
+            lines.append(
+                f"{worker:<8} "
+                f"{'BUSY' if leased else 'idle':<6} "
+                f"{hb_age:>7.2f}s "
+                f"{done:>6.0f} "
+                f"{rate:>7.1f} "
+                f"{_fmt_bytes(rss):>10} "
+                f"{worker_merges:>7.0f} "
+                f"{worker_rejects:>8.0f}"
+            )
+    else:
+        lines.append("")
+        lines.append(
+            "no per-worker series yet — waiting for the first heartbeats "
+            "(is this a fleet run?)"
+        )
+    return "\n".join(lines)
+
+
+def _row_value(row: dict, name: str) -> float:
+    entry = row.get(name)
+    if entry is None:
+        return 0.0
+    return entry.get("value", 0.0) or 0.0
+
+
+def _worker_sort_key(worker: str):
+    # "w0" < "w2" < "w10" — numeric when the label follows the fleet's
+    # convention, lexicographic otherwise.
+    if worker.startswith("w") and worker[1:].isdigit():
+        return (0, int(worker[1:]))
+    return (1, worker)
+
+
+def run_top(
+    url: str,
+    interval: float = DEFAULT_INTERVAL,
+    frames: Optional[int] = None,
+    once: bool = False,
+    out=None,
+) -> int:
+    """Poll-and-redraw loop; returns the process exit code.
+
+    ``once`` prints a single plain frame (no escape codes, no loop).
+    ``frames`` bounds the number of redraws (None = until interrupted
+    or the endpoint goes away — a finished run tears its server down,
+    which ``top`` reports as a normal end, exit 0, after having seen at
+    least one frame).
+    """
+    out = out if out is not None else sys.stdout
+    previous: Optional[dict] = None
+    seen_any = False
+    drawn = 0
+    while True:
+        try:
+            snapshot = fetch_snapshot(url)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if seen_any:
+                print(
+                    f"\nendpoint {url} went away ({exc}) — run finished",
+                    file=out,
+                )
+                return 0
+            print(
+                f"cannot reach {url}: {exc}\n"
+                "start a run with --expose PORT first, e.g.\n"
+                "  python -m repro.harness fleet --corpus 10x --expose 9100",
+                file=out,
+            )
+            return 1
+        seen_any = True
+        frame = render_top(snapshot, previous, interval=interval)
+        if once:
+            print(frame, file=out)
+            return 0
+        stamp = time.strftime("%H:%M:%S")
+        print(
+            f"{ANSI_HOME_CLEAR}{frame}\n\n"
+            f"[{stamp}] polling {url} every {interval:g}s — ctrl-c to quit",
+            file=out,
+            flush=True,
+        )
+        previous = snapshot
+        drawn += 1
+        if frames is not None and drawn >= frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

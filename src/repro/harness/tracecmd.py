@@ -55,11 +55,20 @@ def record_formation_trace(
     if registry is None:
         registry = MetricsRegistry()
     sinks: list = [MemorySink()]
+    jsonl_sink: Optional[JsonlSink] = None
     if jsonl:
-        sinks.append(JsonlSink(jsonl))
+        jsonl_sink = JsonlSink(jsonl)
+        sinks.append(jsonl_sink)
     tracer = Tracer(sinks=sinks, metrics=registry)
-    with tracing(tracer):
-        report = form_module(module, profile=profile)
+    try:
+        with tracing(tracer):
+            report = form_module(module, profile=profile)
+    finally:
+        # Deterministic flush even when formation raises: whatever was
+        # traced is complete lines on disk (close is idempotent; the
+        # tracer's finish() below closes the sink again harmlessly).
+        if jsonl_sink is not None:
+            jsonl_sink.close()
     return tracer.finish(), report, registry, module
 
 

@@ -11,7 +11,15 @@ Three layers (see ``docs/OBSERVABILITY.md``):
 - :mod:`repro.obs.ledger` — persistent, content-addressed run records
   with per-function decision fingerprints;
 - :mod:`repro.obs.rundiff` — decision-drift diffing between two run
-  records, with text and static-HTML renderers.
+  records, with text and static-HTML renderers;
+- :mod:`repro.obs.live` — delta-encoded metric snapshots streamed from
+  fleet workers on heartbeats, merged into the supervisor's registry;
+- :mod:`repro.obs.prof` — zero-dependency sampling profiler with
+  formation-phase attribution (collapsed stacks, speedscope);
+- :mod:`repro.obs.expo` — Prometheus text exposition plus ``/healthz``
+  and ``/snapshot.json`` over stdlib ``http.server`` (``--expose``);
+- :mod:`repro.obs.anomaly` — robust-z trajectory gating over the bench
+  history (``bench --gate-trend``).
 
 Telemetry is opt-in: nothing is recorded until a :class:`Tracer` is
 installed (``with tracing(tracer): ...``), and with no tracer installed
@@ -68,6 +76,36 @@ from repro.obs.trace import (
     install,
     tracing,
 )
+from repro.obs.anomaly import (
+    DEFAULT_THRESHOLD,
+    SeriesVerdict,
+    extract_series,
+    gate_trend,
+    robust_zscore,
+    score_latest,
+)
+from repro.obs.expo import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsServer,
+    expose_registry,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.live import (
+    SNAPSHOT_SCHEMA,
+    MetricsPublisher,
+    SnapshotMerger,
+    record_worker_health,
+    rss_bytes,
+    worker_series,
+)
+from repro.obs.prof import (
+    DEFAULT_HZ,
+    SampleProfile,
+    SamplingProfiler,
+    write_collapsed,
+    write_speedscope,
+)
 
 __all__ = [
     "DECISION_EVENTS",
@@ -109,4 +147,26 @@ __all__ = [
     "clear",
     "install",
     "tracing",
+    "DEFAULT_THRESHOLD",
+    "SeriesVerdict",
+    "extract_series",
+    "gate_trend",
+    "robust_zscore",
+    "score_latest",
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricsServer",
+    "expose_registry",
+    "parse_prometheus",
+    "render_prometheus",
+    "SNAPSHOT_SCHEMA",
+    "MetricsPublisher",
+    "SnapshotMerger",
+    "record_worker_health",
+    "rss_bytes",
+    "worker_series",
+    "DEFAULT_HZ",
+    "SampleProfile",
+    "SamplingProfiler",
+    "write_collapsed",
+    "write_speedscope",
 ]

@@ -1,0 +1,288 @@
+"""Live metric streaming: delta-encoded snapshots over the fleet's
+heartbeat channel.
+
+A fleet corpus run used to be a black box until it finished: worker-side
+metrics (phase histograms, rejection counters, cache hit rates) only
+existed inside each worker process and were discarded with it.  This
+module turns the existing heartbeat channel into a metrics stream:
+
+- :class:`MetricsPublisher` (worker side) walks a
+  :class:`~repro.obs.metrics.MetricsRegistry` and produces
+  **sequence-numbered, delta-encoded snapshots**: only instruments whose
+  values changed since the last snapshot are included, and every included
+  value is *cumulative* (counters/histograms carry their totals since
+  worker start, not increments).  Cumulative values are what make the
+  stream robust: any later snapshot supersedes any earlier one, so a
+  receiver never needs every message.
+
+- :class:`SnapshotMerger` (supervisor side) folds per-worker snapshots
+  into a shared registry, adding a ``worker`` label to every instrument.
+  Merging is **idempotent**: each worker's snapshots are ordered by
+  ``seq``, duplicates and out-of-order arrivals are dropped (counted in
+  :attr:`SnapshotMerger.stale`), and applying the same snapshot twice is
+  a no-op by construction.  Counters and histograms are merged by
+  applying the *difference* against the last applied cumulative value,
+  gauges by last-writer-wins in ``seq`` order.
+
+- :func:`record_worker_health` publishes the supervisor-side per-worker
+  health series (heartbeat age, lease state, jobs in flight, RSS) as
+  labelled gauges — the rows ``python -m repro.harness top`` renders.
+
+The publisher may be read from a different thread than the one mutating
+the registry (the fleet worker's heartbeat thread snapshots while the
+job loop forms).  CPython's GIL makes the individual reads safe; a
+histogram observed mid-snapshot can transiently show ``count`` ahead of
+``sum``, which the next (cumulative) snapshot corrects — acceptable for
+monitoring, never for decisions.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Schema stamp carried by every snapshot message, so a future wire
+#: change can be detected instead of mis-merged.
+SNAPSHOT_SCHEMA = 1
+
+#: Supervisor-side per-worker health gauges (all labelled ``worker=``).
+WORKER_HEARTBEAT_AGE_GAUGE = "fleet_worker_heartbeat_age_seconds"
+WORKER_LEASE_STATE_GAUGE = "fleet_worker_lease_state"
+WORKER_JOBS_IN_FLIGHT_GAUGE = "fleet_worker_jobs_in_flight"
+WORKER_RSS_GAUGE = "fleet_worker_rss_bytes"
+WORKER_JOBS_DONE_GAUGE = "fleet_worker_jobs_done"
+
+
+def rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``resource.getrusage`` reports ``ru_maxrss`` in kilobytes on Linux
+    and in bytes on macOS; normalized here so the gauge always reads as
+    bytes.  Returns 0 where the :mod:`resource` module is unavailable
+    (non-POSIX), keeping the gauge present but inert.
+    """
+    try:
+        import resource
+    except ImportError:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def _entry_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsPublisher:
+    """Worker-side producer of sequence-numbered metric snapshots.
+
+    :meth:`snapshot` returns the next delta-encoded snapshot, or ``None``
+    when nothing changed since the last call (the heartbeat then carries
+    no metrics payload at all — an idle worker costs nothing on the
+    wire).  Values inside a snapshot are cumulative; the delta encoding
+    only governs *which* instruments appear.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.seq = 0
+        #: last published change-fingerprint per (name, label-key)
+        self._sent: dict[tuple, tuple] = {}
+
+    def _fingerprint(self, instrument) -> tuple:
+        if instrument.kind == "histogram":
+            return (instrument.count, instrument.sum)
+        return (instrument.value,)
+
+    def _payload(self, instrument) -> dict:
+        labels = dict(instrument.labels)
+        if instrument.kind == "histogram":
+            return {
+                "type": "histogram",
+                "labels": labels,
+                "buckets": list(instrument.buckets),
+                "bucket_counts": list(instrument.counts),
+                "count": instrument.count,
+                "sum": instrument.sum,
+                "min": None if instrument.count == 0 else instrument.min,
+                "max": None if instrument.count == 0 else instrument.max,
+            }
+        return {
+            "type": instrument.kind,
+            "labels": labels,
+            "value": instrument.value,
+        }
+
+    def snapshot(self, force: bool = False) -> Optional[dict]:
+        """The next snapshot message, or ``None`` if nothing changed.
+
+        ``force=True`` includes every instrument regardless of change
+        state — the full-sync form a freshly (re)connected receiver
+        wants.
+        """
+        changed: dict[str, list] = {}
+        # list() guards against the job thread registering a new
+        # instrument while the heartbeat thread iterates.
+        for (name, _), instrument in list(self.registry._instruments.items()):
+            key = (name, _entry_key(instrument.labels))
+            fingerprint = self._fingerprint(instrument)
+            if not force and self._sent.get(key) == fingerprint:
+                continue
+            self._sent[key] = fingerprint
+            changed.setdefault(name, []).append(self._payload(instrument))
+        if not changed and not force:
+            return None
+        self.seq += 1
+        return {"schema": SNAPSHOT_SCHEMA, "seq": self.seq, "metrics": changed}
+
+
+class SnapshotMerger:
+    """Supervisor-side idempotent merge of per-worker snapshots.
+
+    Every merged instrument gains a ``worker`` label so one registry can
+    hold the whole fleet without collisions; per-worker sequence numbers
+    make duplicate and out-of-order deliveries no-ops.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._last_seq: dict[str, int] = {}
+        #: last applied cumulative state per (worker, name, label-key)
+        self._applied: dict[tuple, dict] = {}
+        self.applied = 0
+        self.stale = 0
+
+    def apply(self, worker: str, snapshot: Optional[dict]) -> bool:
+        """Merge one snapshot; returns ``False`` for stale/duplicate/empty.
+
+        A snapshot is stale when its ``seq`` is not strictly greater than
+        the last applied one for ``worker`` — cumulative payloads mean
+        nothing is lost by dropping it.
+        """
+        if not snapshot:
+            return False
+        if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+            self.stale += 1
+            return False
+        seq = snapshot.get("seq", 0)
+        if seq <= self._last_seq.get(worker, 0):
+            self.stale += 1
+            return False
+        self._last_seq[worker] = seq
+        for name, entries in snapshot.get("metrics", {}).items():
+            for payload in entries:
+                self._apply_entry(worker, name, payload)
+        self.applied += 1
+        return True
+
+    def _apply_entry(self, worker: str, name: str, payload: dict) -> None:
+        labels = dict(payload.get("labels", {}))
+        labels["worker"] = worker
+        kind = payload.get("type")
+        key = (worker, name, _entry_key(payload.get("labels", {})))
+        if kind == "counter":
+            previous = self._applied.get(key, {}).get("value", 0)
+            delta = payload["value"] - previous
+            if delta:
+                self.registry.counter(name, **labels).inc(delta)
+            self._applied[key] = {"value": payload["value"]}
+        elif kind == "gauge":
+            self.registry.gauge(name, **labels).set(payload["value"])
+            self._applied[key] = {"value": payload["value"]}
+        elif kind == "histogram":
+            self._apply_histogram(key, name, labels, payload)
+
+    def _apply_histogram(
+        self, key: tuple, name: str, labels: dict, payload: dict
+    ) -> None:
+        buckets = tuple(payload.get("buckets", ()))
+        target: Histogram = self.registry.histogram(
+            name, buckets=buckets, **labels
+        )
+        previous = self._applied.get(
+            key, {"count": 0, "sum": 0.0, "bucket_counts": [0] * len(target.counts)}
+        )
+        target.count += payload["count"] - previous["count"]
+        target.sum += payload["sum"] - previous["sum"]
+        new_counts = payload.get("bucket_counts", ())
+        old_counts = previous["bucket_counts"]
+        for index, new in enumerate(new_counts):
+            if index < len(target.counts):
+                target.counts[index] += new - (
+                    old_counts[index] if index < len(old_counts) else 0
+                )
+        if payload.get("min") is not None and payload["min"] < target.min:
+            target.min = payload["min"]
+        if payload.get("max") is not None and payload["max"] > target.max:
+            target.max = payload["max"]
+        self._applied[key] = {
+            "count": payload["count"],
+            "sum": payload["sum"],
+            "bucket_counts": list(new_counts),
+        }
+
+
+def record_worker_health(
+    registry: Optional[MetricsRegistry],
+    worker: str,
+    heartbeat_age: Optional[float] = None,
+    leased: Optional[bool] = None,
+    jobs_in_flight: Optional[int] = None,
+    rss: Optional[int] = None,
+    jobs_done: Optional[int] = None,
+) -> None:
+    """Publish the per-worker health gauges (``None`` fields untouched).
+
+    Called by the fleet supervisor on every heartbeat and health tick, so
+    the gauges age honestly between beats — a wedged worker shows a
+    *growing* heartbeat age, not the last happy value.
+    """
+    if registry is None:
+        return
+    if heartbeat_age is not None:
+        registry.set(
+            WORKER_HEARTBEAT_AGE_GAUGE, round(heartbeat_age, 4), worker=worker
+        )
+    if leased is not None:
+        registry.set(WORKER_LEASE_STATE_GAUGE, 1.0 if leased else 0.0,
+                     worker=worker)
+    if jobs_in_flight is not None:
+        registry.set(WORKER_JOBS_IN_FLIGHT_GAUGE, jobs_in_flight,
+                     worker=worker)
+    if rss is not None and rss > 0:
+        registry.set(WORKER_RSS_GAUGE, rss, worker=worker)
+    if jobs_done is not None:
+        registry.set(WORKER_JOBS_DONE_GAUGE, jobs_done, worker=worker)
+
+
+def worker_series(snapshot: dict) -> dict[str, dict]:
+    """Invert a registry snapshot into per-worker rows.
+
+    ``{worker: {metric_name: entry_dict}}`` for every instrument carrying
+    a ``worker`` label — the shape the ``top`` renderer consumes.  For
+    multi-entry metrics (extra labels beyond ``worker``), the entry is
+    keyed ``name{k=v,...}`` with the worker label elided.
+    """
+    rows: dict[str, dict] = {}
+    for name, entries in snapshot.items():
+        for entry in entries:
+            labels = dict(entry.get("labels", {}))
+            worker = labels.pop("worker", None)
+            if worker is None:
+                continue
+            key = name
+            if labels:
+                key += "{" + ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                ) + "}"
+            rows.setdefault(str(worker), {})[key] = entry
+    return rows
+
+
+def _is_finite(value) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)

@@ -107,6 +107,11 @@ class Histogram:
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
+            # Bucket bounds and per-bucket counts ride along (additively —
+            # older consumers read only the scalar keys) so exposition and
+            # the live stream can reconstruct the full distribution.
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.counts),
         }
         if self.count:
             out["min"] = self.min

@@ -63,7 +63,13 @@ class RingSink:
 
 
 class JsonlSink:
-    """Streams events to ``path`` as JSON Lines."""
+    """Streams events to ``path`` as JSON Lines.
+
+    Usable as a context manager; exit flushes and closes, so every
+    emitted event is durably on disk when the ``with`` block ends —
+    a crashed reader mid-run sees complete lines, never a torn tail.
+    ``close`` is idempotent (the tracer's ``finish`` also calls it).
+    """
 
     def __init__(self, path: str):
         self.path = path
@@ -74,9 +80,20 @@ class JsonlSink:
         json.dump(event.as_dict(), self._handle, default=str)
         self._handle.write("\n")
 
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+
     def close(self) -> None:
         if not self._handle.closed:
+            self._handle.flush()
             self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def read_jsonl(path: str) -> list:
@@ -102,30 +119,36 @@ def chrome_trace(events: Sequence, meta: Optional[dict] = None) -> dict:
 
     Each distinct ``attrs["function"]`` becomes one virtual thread so
     Perfetto renders per-function phase lanes; events without a function
-    attribute land on a shared "run" lane.  Timestamps and durations are
-    microseconds, as the format requires.
+    attribute land on a shared "run" lane.  Worker fragments absorbed
+    from pool/fleet processes carry real ``pid`` attrs (stamped by the
+    parallel drivers), so each worker process renders as its own Chrome
+    track with a ``process_name`` label; driver-side events keep pid 0.
+    Timestamps and durations are microseconds, as the format requires.
     """
-    tids: dict[str, int] = {}
+    tids: dict[tuple, int] = {}
+    pids: set = set()
     trace_events: list[dict] = []
 
-    def tid_of(label: str) -> int:
-        tid = tids.get(label)
+    def tid_of(pid, label: str) -> int:
+        tid = tids.get((pid, label))
         if tid is None:
             tid = len(tids) + 1
-            tids[label] = tid
+            tids[(pid, label)] = tid
         return tid
 
     for event in events:
+        pid = event.attrs.get("pid", 0)
+        pids.add(pid)
         lane = event.attrs.get("function") or event.attrs.get("task") or "run"
         record = {
             "name": event.name,
-            "pid": 0,
-            "tid": tid_of(str(lane)),
+            "pid": pid,
+            "tid": tid_of(pid, str(lane)),
             "ts": round(event.ts * 1e6, 3),
             "args": {
                 key: value
                 for key, value in event.attrs.items()
-                if key != "function"
+                if key not in ("function", "pid", "tid")
             },
         }
         if event.dur is not None:
@@ -136,14 +159,26 @@ def chrome_trace(events: Sequence, meta: Optional[dict] = None) -> dict:
             record["s"] = "t"
         trace_events.append(record)
 
-    for label, tid in tids.items():
+    for (pid, label), tid in tids.items():
         trace_events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 0,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": label},
+            }
+        )
+    for pid in sorted(pids, key=str):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": "driver" if pid == 0 else f"worker pid {pid}"
+                },
             }
         )
     document = {"traceEvents": trace_events, "displayTimeUnit": "ms"}

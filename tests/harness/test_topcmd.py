@@ -1,0 +1,95 @@
+"""The ``top`` verb: snapshot fetching, rendering, and the poll loop."""
+
+from __future__ import annotations
+
+import io
+
+from repro.harness.topcmd import (
+    fetch_snapshot,
+    render_top,
+    run_top,
+)
+from repro.obs.expo import expose_registry
+from repro.obs.live import record_worker_health
+from repro.obs.metrics import MetricsRegistry
+
+
+def _fleet_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("fleet_jobs_total", 4, outcome="ok")
+    registry.inc("fleet_requeues_total", 1)
+    registry.inc("formation_merges_total", 40, worker="w0")
+    registry.inc("formation_merges_total", 25, worker="w1")
+    registry.inc("formation_attempts_total", 90, worker="w0")
+    registry.inc("formation_rejections_total", 7, reason="constraint",
+                 worker="w0")
+    registry.inc("formation_trial_cache_total", 3, outcome="hit")
+    registry.inc("formation_trial_cache_total", 9, outcome="miss")
+    registry.observe("formation_phase_seconds", 0.06, phase="optimize")
+    registry.observe("formation_phase_seconds", 0.02, phase="commit")
+    record_worker_health(
+        registry, "w0", heartbeat_age=0.2, leased=True,
+        jobs_in_flight=1, rss=64 << 20, jobs_done=3,
+    )
+    record_worker_health(
+        registry, "w1", heartbeat_age=1.1, leased=False,
+        jobs_in_flight=0, rss=32 << 20, jobs_done=1,
+    )
+    return registry
+
+
+def test_render_top_frame_contents():
+    frame = render_top(_fleet_registry().snapshot())
+    assert "jobs 4 ok" in frame
+    assert "merges 65" in frame
+    assert "constraint 7" in frame
+    assert "trial memo 25%" in frame
+    assert "optimize" in frame and "commit" in frame
+    # Worker rows: w0 busy, w1 idle, sorted numerically.
+    lines = frame.splitlines()
+    w0_line = next(line for line in lines if line.startswith("w0"))
+    w1_line = next(line for line in lines if line.startswith("w1"))
+    assert "BUSY" in w0_line and "64.0MiB" in w0_line
+    assert "idle" in w1_line
+    assert lines.index(w0_line) < lines.index(w1_line)
+    assert "\x1b" not in frame  # plain frame carries no escape codes
+
+
+def test_render_top_throughput_from_previous_snapshot():
+    registry = _fleet_registry()
+    previous = registry.snapshot()
+    record_worker_health(registry, "w0", jobs_done=9)  # 3 -> 9
+    frame = render_top(registry.snapshot(), previous, interval=2.0)
+    w0_line = next(
+        line for line in frame.splitlines() if line.startswith("w0")
+    )
+    assert "3.0" in w0_line  # (9-3)/2s
+
+
+def test_render_top_without_workers():
+    frame = render_top(MetricsRegistry().snapshot())
+    assert "no per-worker series yet" in frame
+
+
+def test_run_top_against_live_endpoint():
+    registry = _fleet_registry()
+    with expose_registry(registry, port=0) as server:
+        snapshot = fetch_snapshot(server.url)
+        assert "fleet_jobs_total" in snapshot
+
+        out = io.StringIO()
+        code = run_top(server.url, once=True, out=out)
+        assert code == 0
+        assert "formation fleet" in out.getvalue()
+
+        out = io.StringIO()
+        code = run_top(server.url, interval=0.01, frames=2, out=out)
+        assert code == 0
+        assert out.getvalue().count("polling") == 2
+
+
+def test_run_top_unreachable_endpoint():
+    out = io.StringIO()
+    code = run_top("http://127.0.0.1:1", once=True, out=out)
+    assert code == 1
+    assert "cannot reach" in out.getvalue()

@@ -1,0 +1,105 @@
+"""Trend anomaly detection: robust z-scores and the bench-history gate."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.anomaly import (
+    SeriesVerdict,
+    extract_series,
+    gate_trend,
+    robust_zscore,
+    score_latest,
+)
+
+
+def _entry(fast: float, quick: bool = True, count: int = 5, **extra) -> dict:
+    entry = {
+        "sequential_fast_s": fast,
+        "quick": quick,
+        "workload_count": count,
+    }
+    entry.update(extra)
+    return entry
+
+
+def test_robust_zscore_flags_outlier():
+    history = [0.10, 0.11, 0.09, 0.10, 0.105, 0.095]
+    assert abs(robust_zscore(0.10, history)) < 1.0
+    assert robust_zscore(0.5, history) > 3.5
+    assert robust_zscore(0.01, history) < -3.5
+
+
+def test_robust_zscore_degenerate_spread():
+    flat = [0.1, 0.1, 0.1, 0.1, 0.1]
+    assert robust_zscore(0.1, flat) == 0.0
+    assert math.isinf(robust_zscore(0.2, flat))
+    assert robust_zscore(0.05, flat) < 0
+    assert robust_zscore(1.0, []) == 0.0
+
+
+def test_extract_series_groups_by_mode_and_tier():
+    history = [
+        _entry(0.1, scaling=[{"tier": "10x", "sequential_fast_s": 0.3}]),
+        _entry(0.5, quick=False, count=19),
+        _entry(
+            0.11,
+            phase_self_s={"arena": {"optimize": 0.05, "commit": 0.01}},
+        ),
+    ]
+    series = extract_series(history)
+    assert series["quick/5wl suite sequential_fast_s"] == [0.1, 0.11]
+    assert series["full/19wl suite sequential_fast_s"] == [0.5]
+    assert series["quick/5wl tier=10x sequential_fast_s"] == [0.3]
+    assert series["quick/5wl backend=arena phase=optimize"] == [0.05]
+
+
+def test_score_latest_slow_direction_only():
+    series = {"s": [0.1, 0.1, 0.11, 0.09, 0.1, 0.011]}  # latest is FAST
+    verdicts = score_latest(series)
+    (verdict,) = verdicts
+    assert isinstance(verdict, SeriesVerdict)
+    assert verdict.zscore < -3.5
+    assert not verdict.anomalous  # fast outliers pass by default
+    both = score_latest(series, both_directions=True)
+    assert both[0].anomalous
+
+
+def test_score_latest_skips_short_series():
+    assert score_latest({"s": [0.1, 0.2]}) == []
+
+
+def _write_bench_json(tmp_path, history):
+    path = tmp_path / "BENCH.json"
+    path.write_text(json.dumps({"history": history}))
+    return str(path)
+
+
+def test_gate_trend_passes_normal_history(tmp_path):
+    history = [_entry(v) for v in (0.10, 0.11, 0.09, 0.10, 0.105, 0.098)]
+    ok, report = gate_trend(_write_bench_json(tmp_path, history))
+    assert ok
+    assert "PASS" in report
+
+
+def test_gate_trend_fails_slow_outlier(tmp_path):
+    history = [_entry(v) for v in (0.10, 0.11, 0.09, 0.10, 0.105)]
+    history.append(_entry(0.55))
+    ok, report = gate_trend(_write_bench_json(tmp_path, history))
+    assert not ok
+    assert "ANOMALY" in report
+    assert "FAIL" in report
+
+
+def test_gate_trend_short_or_missing_history_passes(tmp_path):
+    ok, report = gate_trend(_write_bench_json(tmp_path, [_entry(0.1)]))
+    assert ok and "nothing to score" in report
+
+    path = tmp_path / "EMPTY.json"
+    path.write_text(json.dumps({"history": []}))
+    ok, report = gate_trend(str(path))
+    assert ok and "no history" in report
+
+    ok, report = gate_trend(str(tmp_path / "ABSENT.json"))
+    assert not ok and "cannot read" in report

@@ -1,0 +1,146 @@
+"""Live metric streaming: delta snapshots, idempotent merging, health."""
+
+from __future__ import annotations
+
+from repro.obs.live import (
+    SNAPSHOT_SCHEMA,
+    WORKER_HEARTBEAT_AGE_GAUGE,
+    WORKER_JOBS_DONE_GAUGE,
+    WORKER_LEASE_STATE_GAUGE,
+    WORKER_RSS_GAUGE,
+    MetricsPublisher,
+    SnapshotMerger,
+    record_worker_health,
+    rss_bytes,
+    worker_series,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _counter_value(registry, name, **labels):
+    return registry.counter(name, **labels).value
+
+
+def test_publisher_emits_only_deltas():
+    registry = MetricsRegistry()
+    publisher = MetricsPublisher(registry)
+
+    registry.inc("jobs_total", 3, outcome="ok")
+    first = publisher.snapshot()
+    assert first["schema"] == SNAPSHOT_SCHEMA
+    assert first["seq"] == 1
+    assert "jobs_total" in first["metrics"]
+
+    # Nothing changed: no payload.
+    assert publisher.snapshot() is None
+    # force=True resends the full cumulative state (a resync).
+    forced = publisher.snapshot(force=True)
+    assert forced is not None and "jobs_total" in forced["metrics"]
+
+    registry.inc("jobs_total", 2, outcome="ok")
+    registry.set("depth", 7.0)
+    third = publisher.snapshot()
+    names = set(third["metrics"])
+    assert names == {"jobs_total", "depth"}
+    # Values are cumulative, not per-delta: later supersedes earlier.
+    (entry,) = third["metrics"]["jobs_total"]
+    assert entry["value"] == 5
+
+
+def test_merge_is_idempotent_under_duplicates_and_reordering():
+    source = MetricsRegistry()
+    publisher = MetricsPublisher(source)
+    dest = MetricsRegistry()
+    merger = SnapshotMerger(dest)
+
+    source.inc("formation_merges_total", 4)
+    snap1 = publisher.snapshot()
+    source.inc("formation_merges_total", 6)
+    snap2 = publisher.snapshot()
+
+    assert merger.apply("w0", snap1)
+    assert merger.apply("w0", snap2)
+    total = _counter_value(dest, "formation_merges_total", worker="w0")
+    assert total == 10
+
+    # Duplicate and out-of-order replays are stale no-ops.
+    assert not merger.apply("w0", snap2)
+    assert not merger.apply("w0", snap1)
+    assert _counter_value(
+        dest, "formation_merges_total", worker="w0"
+    ) == 10
+    assert merger.stale == 2
+
+    # A forced resync (full cumulative resend) must not double-count.
+    resync = publisher.snapshot(force=True)
+    assert merger.apply("w0", resync)
+    assert _counter_value(
+        dest, "formation_merges_total", worker="w0"
+    ) == 10
+
+
+def test_merge_keeps_workers_separate():
+    dest = MetricsRegistry()
+    merger = SnapshotMerger(dest)
+    for worker in ("w0", "w1"):
+        source = MetricsRegistry()
+        publisher = MetricsPublisher(source)
+        source.inc("formation_merges_total", 5)
+        merger.apply(worker, publisher.snapshot())
+    assert _counter_value(dest, "formation_merges_total", worker="w0") == 5
+    assert _counter_value(dest, "formation_merges_total", worker="w1") == 5
+
+
+def test_merge_histograms_by_diff():
+    source = MetricsRegistry()
+    publisher = MetricsPublisher(source)
+    dest = MetricsRegistry()
+    merger = SnapshotMerger(dest)
+
+    source.observe("formation_phase_seconds", 0.01, phase="optimize")
+    merger.apply("w0", publisher.snapshot())
+    source.observe("formation_phase_seconds", 0.02, phase="optimize")
+    snap = publisher.snapshot()
+    merger.apply("w0", snap)
+    # Replaying the same cumulative snapshot adds nothing.
+    merger.apply("w0", snap)
+
+    hist = dest.histogram(
+        "formation_phase_seconds", phase="optimize", worker="w0"
+    )
+    assert hist.count == 2
+    assert abs(hist.sum - 0.03) < 1e-9
+
+
+def test_merge_rejects_unknown_schema_and_non_dicts():
+    dest = MetricsRegistry()
+    merger = SnapshotMerger(dest)
+    assert not merger.apply("w0", None)
+    assert not merger.apply("w0", {"schema": 999, "seq": 1, "metrics": {}})
+    assert merger.applied == 0
+
+
+def test_record_worker_health_and_series_inversion():
+    registry = MetricsRegistry()
+    record_worker_health(
+        registry, "w3", heartbeat_age=0.5, leased=True,
+        jobs_in_flight=1, rss=123456, jobs_done=7,
+    )
+    # None fields leave gauges untouched.
+    record_worker_health(registry, "w3", heartbeat_age=1.5)
+
+    series = worker_series(registry.snapshot())
+    row = series["w3"]
+    assert row[WORKER_HEARTBEAT_AGE_GAUGE]["value"] == 1.5
+    assert row[WORKER_LEASE_STATE_GAUGE]["value"] == 1
+    assert row[WORKER_RSS_GAUGE]["value"] == 123456
+    assert row[WORKER_JOBS_DONE_GAUGE]["value"] == 7
+
+    # No registry: a silent no-op (workers without telemetry).
+    record_worker_health(None, "w3", heartbeat_age=0.0)
+
+
+def test_rss_bytes_is_nonnegative_int():
+    value = rss_bytes()
+    assert isinstance(value, int)
+    assert value >= 0

@@ -1,0 +1,103 @@
+"""Sampling profiler: capture, phase attribution, export formats."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.prof import (
+    SampleProfile,
+    SamplingProfiler,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.obs.trace import Tracer, tracing
+
+
+def _spin(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+def test_profiler_collects_samples_and_stacks():
+    with SamplingProfiler(hz=400.0) as profiler:
+        _spin(0.08)
+    profile = profiler.profile
+    assert profile.samples > 0
+    assert profile.duration > 0
+    # Our busy loop must appear somewhere in the sampled stacks.
+    joined = "\n".join(
+        ";".join(stack) for (_, stack) in profile.stacks
+    )
+    assert "_spin" in joined
+
+
+def test_profiler_rejects_bad_hz():
+    with pytest.raises(ValueError):
+        SamplingProfiler(hz=0)
+
+
+def test_phase_attribution_from_tracer():
+    tracer = Tracer()
+    with tracing(tracer):
+        with SamplingProfiler(hz=400.0) as profiler:
+            with tracer.span("optimize"):
+                _spin(0.05)
+            with tracer.span("estimate"):
+                _spin(0.05)
+    profile = profiler.profile
+    shares = profile.phase_shares()
+    assert profile.samples > 0
+    # Both phases ran equally long; each must have been seen at least
+    # once, and together they dominate the attributed samples.
+    assert shares.get("optimize", 0) > 0
+    assert shares.get("estimate", 0) > 0
+
+
+def test_collapsed_and_speedscope_exports(tmp_path):
+    with SamplingProfiler(hz=400.0) as profiler:
+        _spin(0.05)
+    profile = profiler.profile
+
+    collapsed_path = str(tmp_path / "prof.collapsed.txt")
+    write_collapsed(profile, collapsed_path)
+    with open(collapsed_path) as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    assert lines
+    counts = []
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        assert stack and ";" in stack
+        counts.append(int(count))
+    assert counts == sorted(counts, reverse=True)
+    assert sum(counts) == profile.samples
+
+    speedscope_path = str(tmp_path / "prof.speedscope.json")
+    write_speedscope(profile, speedscope_path)
+    with open(speedscope_path) as handle:
+        doc = json.load(handle)
+    assert doc["$schema"] == (
+        "https://www.speedscope.app/file-format-schema.json"
+    )
+    frames = doc["shared"]["frames"]
+    for prof in doc["profiles"]:
+        assert prof["type"] == "sampled"
+        assert len(prof["samples"]) == len(prof["weights"])
+        for sample in prof["samples"]:
+            for frame_id in sample:
+                assert 0 <= frame_id < len(frames)
+
+
+def test_profile_self_times_and_top():
+    profile = SampleProfile(hz=100.0)
+    profile.stacks[("MainThread", ("a (f:1)", "b (f:2)"))] = 3
+    profile.stacks[("MainThread", ("a (f:1)",))] = 1
+    profile.samples = 4
+    assert profile.self_times() == {"b (f:2)": 3, "a (f:1)": 1}
+    report = profile.top(1)
+    assert "b (f:2)" in report
+    # limit=1: the cooler frame is cut from the ranking.
+    assert "     1 " not in report

@@ -83,7 +83,12 @@ def test_chrome_trace_structure():
     spans = [e for e in events if e["ph"] == "X"]
     instants = [e for e in events if e["ph"] == "i"]
     metadata = [e for e in events if e["ph"] == "M"]
-    assert len(spans) == 1 and len(instants) == 2 and len(metadata) == 2
+    thread_meta = [e for e in metadata if e["name"] == "thread_name"]
+    process_meta = [e for e in metadata if e["name"] == "process_name"]
+    assert len(spans) == 1 and len(instants) == 2
+    assert len(thread_meta) == 2
+    # No pid attrs anywhere -> everything on the driver process track.
+    assert [e["args"]["name"] for e in process_meta] == ["driver"]
 
     (span,) = spans
     assert span["name"] == "trial"
@@ -92,7 +97,7 @@ def test_chrome_trace_structure():
     assert "function" not in span["args"]  # lifted into the lane
 
     # One virtual thread per function/task lane, each named.
-    lanes = {e["args"]["name"]: e["tid"] for e in metadata}
+    lanes = {e["args"]["name"]: e["tid"] for e in thread_meta}
     assert set(lanes) == {"f", "g"}
     assert span["tid"] == lanes["f"]
     (dispatch,) = [e for e in instants if e["name"] == "task_dispatch"]
@@ -108,3 +113,82 @@ def test_write_chrome_trace(tmp_path):
     with open(path) as handle:
         document = json.load(handle)
     assert document["traceEvents"]
+
+
+def test_jsonl_sink_context_manager_flushes_and_closes(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    events = _sample_events()
+    with JsonlSink(path) as sink:
+        for event in events:
+            sink.emit(event)
+        # flush() makes what is emitted so far durable mid-run.
+        sink.flush()
+        with open(path) as handle:
+            assert len(handle.readlines()) == len(events)
+    assert sink._handle.closed
+    sink.close()  # idempotent: finish() may close it again
+    assert read_jsonl(path) == events
+
+
+def test_absorb_drop_accounting_under_ring_overflow():
+    # A tracer whose only sink is a tiny ring: absorbing a fragment
+    # larger than the ring must (a) report every event absorbed — the
+    # fragment *was* processed — and (b) account the overflow in the
+    # sink's dropped counter, surfaced by dropped_events()/finish().
+    tracer = Tracer(sinks=(RingSink(capacity=4),))
+    fragment = [
+        TraceEvent(name="offer", ts=i * 0.001, span_id=i + 1,
+                   attrs={"function": "f"})
+        for i in range(10)
+    ]
+    absorbed = tracer.absorb(fragment, task="t0")
+    assert absorbed == 10
+    assert tracer.dropped_events() == 6  # 10 emitted into capacity 4
+    trace = tracer.finish()
+    assert len(trace) == 4  # the newest events survive
+    assert trace.dropped == 6
+    # The survivors are the *last* four of the fragment, stamped with
+    # the absorb-time extra attrs.
+    assert all(e.attrs.get("task") == "t0" for e in trace.events)
+
+
+def test_absorb_drop_accounting_accumulates_across_fragments():
+    tracer = Tracer(sinks=(RingSink(capacity=3),))
+    frag = [
+        TraceEvent(name="offer", ts=0.0, span_id=1),
+        TraceEvent(name="offer", ts=0.001, span_id=2),
+    ]
+    tracer.absorb(frag)
+    assert tracer.dropped_events() == 0
+    tracer.absorb(frag)
+    assert tracer.dropped_events() == 1
+    tracer.absorb(frag)
+    assert tracer.dropped_events() == 3
+
+
+def test_chrome_trace_worker_pid_tracks():
+    # Fragments stamped with real worker pids render as separate Chrome
+    # process tracks; pid/tid attrs are lifted out of args.
+    events = [
+        TraceEvent(name="trial", ts=0.001, span_id=1, dur=0.0005,
+                   attrs={"function": "f", "pid": 111, "tid": 7}),
+        TraceEvent(name="trial", ts=0.002, span_id=2, dur=0.0005,
+                   attrs={"function": "f", "pid": 222, "tid": 9}),
+        TraceEvent(name="offer", ts=0.003, span_id=3,
+                   attrs={"function": "g"}),
+    ]
+    document = chrome_trace(events)
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert {e["pid"] for e in spans} == {111, 222}
+    # Same lane name, different pid -> different tid (separate tracks).
+    assert spans[0]["tid"] != spans[1]["tid"]
+    for span in spans:
+        assert "pid" not in span["args"] and "tid" not in span["args"]
+    process_names = {
+        e["pid"]: e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert process_names == {
+        0: "driver", 111: "worker pid 111", 222: "worker pid 222",
+    }
