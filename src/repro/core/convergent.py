@@ -98,6 +98,10 @@ def _expand_block(
         index = policy.select(ctx, hb_name, candidates)
         cand = candidates.pop(index)
         if tracer is not None:
+            # `pending` (worklist size after this pop) is a pure function
+            # of earlier decisions, so the flight recorder can keep it:
+            # replay uses it to catch candidate-discovery drift at the
+            # offer that first saw a different worklist.
             tracer.event(
                 "offer",
                 function=func.name,
@@ -105,6 +109,7 @@ def _expand_block(
                 target=cand.name,
                 depth=cand.depth,
                 seq=cand.seq,
+                pending=len(candidates),
             )
         if guard is not None and guard.blocked(func.name, hb_name, cand.name):
             if tracer is not None:

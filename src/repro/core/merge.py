@@ -693,6 +693,9 @@ def _merge_trial(
                 ctx.post_commit(ctx, hb_name)
     ctx.stats.record(kind, hb_name, s_name)
     if tracer is not None:
+        # The estimate rides along so the flight recorder captures the
+        # accepted side's projection too — a bisection can then show what
+        # the estimator saw on *both* sides of a flipped verdict.
         tracer.event(
             "accept",
             function=func.name,
@@ -700,6 +703,7 @@ def _merge_trial(
             target=s_name,
             kind=kind.value,
             removed=removed,
+            estimate=estimate.as_attrs(),
         )
     return candidate_succs
 

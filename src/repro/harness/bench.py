@@ -307,6 +307,40 @@ def _sample_profile_formation(
     return summary
 
 
+def _mem_profile_formation(prepared, metrics=None) -> dict:
+    """One pass over the suite under the per-phase allocation profiler
+    (``bench --mem-profile``).
+
+    Same discipline as the sampling profiler: fresh modules, *after* the
+    timed windows, a private tracer whose phase spans drive the profiler
+    — tracemalloc's per-allocation cost can never perturb the recorded
+    timings.  The report carries per-phase net/self-net/peak bytes, the
+    arena column-byte counters (the accounting the obs layer cannot see
+    itself), and the process peak RSS for ceiling gates.
+    """
+    from repro.obs.live import rss_bytes
+    from repro.obs.memprof import PhaseMemoryProfiler
+    from repro.obs.sink import MemorySink
+    from repro.obs.trace import Tracer, tracing
+
+    modules = [(w.module(), p) for _, w, p in prepared]
+    profiler = PhaseMemoryProfiler(metrics=metrics)
+    tracer = Tracer(sinks=(MemorySink(),))
+    tracer.memprof = profiler
+    profiler.start()
+    try:
+        with tracing(tracer):
+            for module, profile in modules:
+                form_module(module, profile=profile, record_events=False)
+    finally:
+        profiler.stop()
+        tracer.memprof = None
+    profiler.attach_section("arena", _arena_telemetry())
+    summary = profiler.report()
+    summary["peak_rss_bytes"] = rss_bytes()
+    return summary
+
+
 def _time_parallel(
     prepared, workers: Optional[int], repeat: int, driver: str = "pool"
 ):
@@ -535,6 +569,7 @@ def run_bench(
     sample_profile: bool = False,
     sample_hz: Optional[float] = None,
     sample_out: Optional[str] = None,
+    mem_profile: bool = False,
     metrics=None,
 ) -> dict:
     """Run the formation benchmark; returns the BENCH_formation.json dict.
@@ -545,7 +580,9 @@ def run_bench(
     ``"fleet"``), so the two can be raced on identical inputs.
     ``sample_profile=True`` runs the sampling profiler over an extra
     untimed pass (``sample_hz`` samples/s; ``sample_out`` is the path
-    prefix for collapsed-stack and speedscope exports).  ``metrics``
+    prefix for collapsed-stack and speedscope exports);
+    ``mem_profile=True`` likewise runs the tracemalloc per-phase
+    allocation profiler over its own untimed pass.  ``metrics``
     (a :class:`~repro.obs.metrics.MetricsRegistry`) is fed by the
     telemetry pass — ``--expose`` hands in the registry its endpoint
     serves.
@@ -641,6 +678,11 @@ def run_bench(
     if sample_profile:
         result["sample_profile"] = _sample_profile_formation(
             prepared, hz=sample_hz, out_prefix=sample_out
+        )
+
+    if mem_profile:
+        result["mem_profile"] = _mem_profile_formation(
+            prepared, metrics=metrics
         )
 
     result["telemetry"] = _collect_telemetry(prepared, registry=metrics)
@@ -746,6 +788,35 @@ def format_report(result: dict) -> str:
         for key in ("collapsed_path", "speedscope_path"):
             if key in sampled:
                 lines.append(f"    wrote {sampled[key]}")
+    mem = result.get("mem_profile")
+    if mem:
+        from repro.obs.memprof import format_bytes
+
+        lines.append(
+            f"  memory profile: net {format_bytes(mem['total_net_bytes'])}, "
+            f"traced peak {format_bytes(mem['total_peak_bytes'])}, "
+            f"process peak RSS {format_bytes(mem.get('peak_rss_bytes'))}"
+        )
+        lines.append(
+            f"    {'phase':<12} {'entries':>8} {'net':>12} "
+            f"{'self net':>12} {'peak Δ':>12}"
+        )
+        for phase, row in sorted(
+            mem["phases"].items(),
+            key=lambda item: -item[1]["self_net_bytes"],
+        ):
+            lines.append(
+                f"    {phase:<12} {row['count']:>8} "
+                f"{format_bytes(row['net_bytes']):>12} "
+                f"{format_bytes(row['self_net_bytes']):>12} "
+                f"{format_bytes(row['peak_delta_bytes']):>12}"
+            )
+        arena = mem.get("arena")
+        if arena:
+            lines.append(
+                f"    arena: {format_bytes(arena.get('column_bytes'))} "
+                f"column bytes ({arena.get('backend')} backend)"
+            )
     rows = result.get("profile_top")
     if rows:
         lines.append(f"  profile (top {len(rows)} by cumulative time):")

@@ -27,6 +27,9 @@ Usage::
     python -m repro.harness top [--port 9100] [--interval 1] [--once]
     python -m repro.harness bench --quick --sample-profile [--sample-hz 100]
     python -m repro.harness bench --quick --gate-trend
+    python -m repro.harness replay mcf [--fn main] [--run latest]
+    python -m repro.harness replay --bisect <runA> <runB>
+    python -m repro.harness bench --quick --mem-profile [--mem-ceiling MB]
 
 ``selfcheck`` (or the ``--selfcheck`` flag on any target) runs the
 differential-simulation oracle over the suite before the experiment and
@@ -46,6 +49,13 @@ regression beyond ``--threshold``.
 (:mod:`repro.harness.fleet`): journalled, resumable (``--journal`` /
 ``--resume``), verifiable bit-identical to serial (``--verify-serial``).
 ``fleet --drill`` instead runs the kill/stall/raise containment drill.
+
+``replay`` validates a live formation run against the flight-recorder
+decision log a ``record`` run left in the ledger, halting at the first
+divergence; ``replay --bisect`` pinpoints the first diverging decision
+between two recorded runs (:mod:`repro.harness.replaycmd`).  ``bench
+--mem-profile`` attributes allocations to formation phases over an extra
+untimed pass (:mod:`repro.obs.memprof`).
 
 ``--expose PORT`` (fleet/bench/selfcheck) serves ``/metrics`` (Prometheus
 text), ``/healthz`` and ``/snapshot.json`` for the duration of the run;
@@ -84,7 +94,7 @@ def run(argv: Optional[list[str]] = None) -> str:
         choices=[
             "table1", "table2", "table3", "figure7", "all", "bench",
             "selfcheck", "trace", "stats", "record", "compare",
-            "backends", "fleet", "top",
+            "backends", "fleet", "top", "replay",
         ],
         help="which experiment to regenerate ('bench' times formation, "
         "'selfcheck' runs the differential-simulation oracle, 'trace'/"
@@ -92,17 +102,20 @@ def run(argv: Optional[list[str]] = None) -> str:
         "'record' persists a run record to the ledger, 'compare' diffs "
         "two run records, 'backends' lists the IR analysis backends, "
         "'fleet' runs a corpus on the self-healing worker fleet, 'top' "
-        "renders a live view of a run started with --expose)",
+        "renders a live view of a run started with --expose, 'replay' "
+        "check-replays a workload against a recorded decision log or "
+        "bisects two recorded runs to the first diverging decision)",
     )
     parser.add_argument(
         "workload", nargs="?",
-        help="trace/stats: the SPEC workload to form under the tracer; "
-        "compare: the baseline run (file path, ledger hash, or 'latest')",
+        help="trace/stats/replay: the SPEC workload to form under the "
+        "tracer; compare / replay --bisect: the baseline run (file path, "
+        "ledger hash, or 'latest')",
     )
     parser.add_argument(
         "other", nargs="?",
-        help="compare: the candidate run (file path, ledger hash, or "
-        "'latest')",
+        help="compare / replay --bisect: the candidate run (file path, "
+        "ledger hash, or 'latest')",
     )
     parser.add_argument(
         "--subset",
@@ -114,8 +127,11 @@ def run(argv: Optional[list[str]] = None) -> str:
         help="bench: small workload subset for CI smoke runs",
     )
     parser.add_argument(
-        "--json", default="BENCH_formation.json",
-        help="bench: where to write the JSON result",
+        "--json", nargs="?", const="-", default=None,
+        help="bench: where to write the JSON result (default "
+        "BENCH_formation.json); stats / trace --why: emit machine-"
+        "readable JSON instead of the rendered tables (bare --json "
+        "prints to stdout, or give a path)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -299,6 +315,35 @@ def run(argv: Optional[list[str]] = None) -> str:
         "slow-direction trajectory outlier",
     )
     parser.add_argument(
+        "--fn", default=None,
+        help="replay: restrict check-mode replay to this function",
+    )
+    parser.add_argument(
+        "--run", default="latest",
+        help="replay: which recorded run to check against — a ledger "
+        "run ('latest' or a hash prefix), a decision-log digest, or a "
+        "JSON file path (default: latest)",
+    )
+    parser.add_argument(
+        "--bisect", action="store_true",
+        help="replay: compare the two positional run references and "
+        "report the first diverging decision per function (exit 2 on "
+        "any divergence)",
+    )
+    parser.add_argument(
+        "--mem-profile", action="store_true", dest="mem_profile",
+        help="bench: attribute allocations (tracemalloc) to formation "
+        "phases over an extra untimed pass, plus arena/mirror byte "
+        "accounting; results land in the bench JSON and the "
+        "formation_phase_alloc_bytes histogram",
+    )
+    parser.add_argument(
+        "--mem-ceiling", type=float, default=None, dest="mem_ceiling",
+        metavar="MB",
+        help="bench --mem-profile: fail (exit 1) if the process peak "
+        "RSS exceeds this many MiB",
+    )
+    parser.add_argument(
         "--url", default=None,
         help="top: metrics endpoint base URL "
         "(default http://127.0.0.1:<--port>)",
@@ -321,6 +366,11 @@ def run(argv: Optional[list[str]] = None) -> str:
         help="top: print a single plain frame (no ANSI redraw) and exit",
     )
     args = parser.parse_args(argv)
+
+    # `--json` is shared: a result path for bench (with its historical
+    # default), a render-as-JSON switch for stats / trace --why.
+    if args.target == "bench" and args.json in (None, "-"):
+        args.json = "BENCH_formation.json"
 
     subset = _parse_subset(args.subset)
 
@@ -346,10 +396,22 @@ def run(argv: Optional[list[str]] = None) -> str:
                 "--expose only applies to the fleet, bench and selfcheck "
                 "verbs"
             )
-        from repro.obs.expo import expose_registry
+        from repro.ir import arena as _arena
+        from repro.obs.expo import expose_registry, publish_build_info
+        from repro.obs.ledger import RECORD_SCHEMA_VERSION
         from repro.obs.metrics import MetricsRegistry
+        from repro.obs.replay import DECISION_LOG_SCHEMA_VERSION
 
         args.metrics = MetricsRegistry()
+        # Build-info gauge: lets a scrape correlate every series with
+        # the backend/schema/interpreter that produced it.
+        publish_build_info(
+            args.metrics,
+            ir_backend=_arena.backend(),
+            record_schema=str(RECORD_SCHEMA_VERSION),
+            decision_log_schema=str(DECISION_LOG_SCHEMA_VERSION),
+            python=sys.version.split()[0],
+        )
         server = expose_registry(args.metrics, args.expose)
         print(
             f"metrics exposed at {server.url}/metrics "
@@ -400,6 +462,33 @@ def _dispatch(args, subset: Optional[list[str]]) -> str:
                 handle.write(report + "\n")
         return report
 
+    if args.target == "replay":
+        from repro.harness.replaycmd import run_replay_bisect, run_replay_check
+
+        if args.bisect:
+            if not args.workload or not args.other:
+                raise SystemExit(
+                    "replay --bisect needs two run references "
+                    "(e.g. `replay --bisect latest run_b.json`)"
+                )
+            report = run_replay_bisect(
+                args.workload, args.other, ledger_dir=args.ledger
+            )
+        else:
+            if not args.workload:
+                raise SystemExit(
+                    "replay needs a workload name (check mode) or "
+                    "--bisect with two run references"
+                )
+            report = run_replay_check(
+                args.workload, fn=args.fn, run=args.run,
+                ledger_dir=args.ledger,
+            )
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(report + "\n")
+        return report
+
     if args.target == "record":
         from repro.harness.ledgercmd import run_record
 
@@ -424,10 +513,11 @@ def _dispatch(args, subset: Optional[list[str]]) -> str:
 
         if not args.workload:
             raise SystemExit(f"{args.target} needs a workload name")
+        as_json = args.json is not None
         if args.target == "trace":
             report = run_trace(
                 args.workload, why=args.why, jsonl=args.jsonl,
-                chrome=args.chrome, dot=args.dot,
+                chrome=args.chrome, dot=args.dot, as_json=as_json,
             )
             if args.record:
                 from repro.harness.ledgercmd import run_record
@@ -437,7 +527,10 @@ def _dispatch(args, subset: Optional[list[str]]) -> str:
                     label=args.label, ledger_dir=args.ledger,
                 )
         else:
-            report = run_stats(args.workload, top=args.top)
+            report = run_stats(args.workload, top=args.top, as_json=as_json)
+        if as_json and args.json != "-":
+            with open(args.json, "w") as handle:
+                handle.write(report + "\n")
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(report + "\n")
@@ -515,6 +608,7 @@ def _dispatch(args, subset: Optional[list[str]]) -> str:
             sample_profile=args.sample_profile,
             sample_hz=args.sample_hz,
             sample_out=sample_out,
+            mem_profile=args.mem_profile,
             metrics=args.metrics,
         )
         if args.json:
@@ -554,6 +648,17 @@ def _dispatch(args, subset: Optional[list[str]]) -> str:
                 f"bench ceiling exceeded: {result['sequential_fast_s']:.4f}s "
                 f"> {args.ceiling:.4f}s"
             )
+        if args.mem_ceiling is not None:
+            if not args.mem_profile:
+                raise SystemExit("--mem-ceiling needs --mem-profile")
+            peak = result["mem_profile"]["peak_rss_bytes"]
+            limit = args.mem_ceiling * 1024 * 1024
+            if peak > limit:
+                print(report, file=sys.stderr)
+                raise SystemExit(
+                    f"bench memory ceiling exceeded: peak RSS "
+                    f"{peak / 1048576:.1f} MiB > {args.mem_ceiling:.1f} MiB"
+                )
         if not trend_ok:
             print(report, file=sys.stderr)
             raise SystemExit(
@@ -681,10 +786,24 @@ def _run_fleet_target(args) -> str:
         )
     if args.record:
         from repro.obs.ledger import Ledger
+        from repro.obs.replay import build_log_set
 
         ledger = Ledger(args.ledger) if args.ledger else Ledger()
+        # Workers ship their decision events back with task results, so
+        # the merged corpus record gets a flight-recorder log too —
+        # making fleet runs bisectable like any `record` run.
+        log_functions = result.decision_log_functions()
+        if log_functions:
+            record["decision_log"] = ledger.record_decisions(
+                build_log_set(log_functions)
+            )
         digest = ledger.record(record)
         lines.append(f"  ledger: recorded {digest[:12]} -> {ledger.root}")
+        if "decision_log" in record:
+            lines.append(
+                f"  decision log: {record['decision_log'][:12]} "
+                f"({len(log_functions)} function stream(s))"
+            )
     return "\n".join(lines)
 
 

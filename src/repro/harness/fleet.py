@@ -76,6 +76,7 @@ from repro.obs.ledger import (
 )
 from repro.obs import live as obs_live
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.replay import attach_stats, log_from_trace
 from repro.obs.trace import FormationTrace, Tracer, tracing
 from repro.obs.sink import MemorySink
 from repro.profiles import collect_profile
@@ -873,6 +874,7 @@ def job_entry_ok(name: str, module: Module, report, fragment) -> dict:
     trace = FormationTrace(list(fragment or ()))
     fingerprints = decision_fingerprints(trace, prefix=f"{name}:")
     functions: dict[str, dict] = {}
+    log_stats: dict[str, dict] = {}
     for func in module:
         key = f"{name}:{func.name}"
         freport = report.functions[func.name]
@@ -889,6 +891,15 @@ def job_entry_ok(name: str, module: Module, report, fragment) -> dict:
         }
         entry.update(_composition(func))
         functions[key] = entry
+        stats = {
+            "attempts": freport.stats.attempts,
+            "stats_fingerprint": freport.stats.decision_fingerprint(),
+            "status": freport.status.value,
+        }
+        if freport.status.value == "ok":
+            stats["merges"] = freport.stats.merges
+            stats["mtup"] = list(freport.stats.mtup)
+        log_stats[key] = stats
     return {
         "status": "ok",
         "functions": functions,
@@ -898,6 +909,12 @@ def job_entry_ok(name: str, module: Module, report, fragment) -> dict:
         "phase_time_s": _phase_totals(trace),
         "events": len(trace),
         "event_counts": trace.event_counts(),
+        # The flight-recorder projection of the same worker fragment:
+        # decision logs ship back with task results exactly like trace
+        # fragments, so a finished corpus run is replayable/bisectable.
+        "decision_log": attach_stats(
+            log_from_trace(trace, prefix=f"{name}:"), log_stats
+        ),
     }
 
 
@@ -925,6 +942,17 @@ def job_entry_failed(name: str, module: Module, failure: TrialFailure) -> dict:
         "phase_time_s": {},
         "events": 0,
         "event_counts": {},
+        # Written-off jobs keep their pre-formation CFG, so the recorded
+        # stream is empty per function — a bisect against a clean run
+        # then points at the first decision the failed run never made.
+        "decision_log": {
+            f"{name}:{func.name}": {
+                "records": [],
+                "fingerprint": _EMPTY_FINGERPRINT,
+                "status": "failed_safe",
+            }
+            for func in module
+        },
         "failure": {
             "error_type": failure.error_type,
             "error": failure.error,
@@ -1086,6 +1114,22 @@ class CorpusRunResult:
             self.entries, self.workloads, kind=kind, label=label,
             fleet_stats=self.fleet_stats,
         )
+
+    def decision_log_functions(self) -> Optional[dict]:
+        """The merged per-function flight-recorder logs of this run.
+
+        ``None`` when any entry predates the recorder (a resumed journal
+        written by an older version): a partial log would bisect as
+        spurious missing-function divergences, so completeness is
+        all-or-nothing.
+        """
+        merged: dict[str, dict] = {}
+        for name in self.workloads:
+            entry = self.entries.get(name)
+            if entry is None or "decision_log" not in entry:
+                return None
+            merged.update(entry["decision_log"])
+        return merged
 
 
 def run_fleet_corpus(

@@ -37,6 +37,7 @@ from repro.obs.ledger import (
     validate_record,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.replay import attach_stats, build_log_set, log_from_trace
 from repro.obs.rundiff import (
     diff_runs,
     format_diff,
@@ -79,6 +80,7 @@ def build_suite_record(
     kind: str = "suite",
     label: Optional[str] = None,
     bench_result: Optional[dict] = None,
+    decision_logs: Optional[dict] = None,
 ) -> dict:
     """Form ``subset`` (default: the full SPEC suite) under a tracer and
     assemble a run record.
@@ -88,6 +90,11 @@ def build_suite_record(
     are the decisions the system actually makes.  The traced pass is
     *untimed*: records are about decisions; wall-time comparisons come
     from the phase self-times the trace itself carries.
+
+    ``decision_logs`` (optional out-param dict) is filled with the
+    per-function flight-recorder logs projected from the same traces —
+    no extra formation pass — with the engine's ``MergeStats`` counters
+    and ``decision_fingerprint()`` embedded for cross-checking.
     """
     prepared = prepare_workloads(subset)
     functions: dict[str, dict] = {}
@@ -110,6 +117,7 @@ def build_suite_record(
         trace = tracer.finish()
         _arena.STORE.publish_metrics(registry)
         fingerprints = decision_fingerprints(trace, prefix=f"{name}:")
+        log_stats: dict[str, dict] = {}
         for func in module:
             key = f"{name}:{func.name}"
             freport = report.functions[func.name]
@@ -127,6 +135,13 @@ def build_suite_record(
             }
             entry.update(_composition(func))
             functions[key] = entry
+            log_stats[key] = _log_stats_entry(freport)
+        if decision_logs is not None:
+            decision_logs.update(
+                attach_stats(
+                    log_from_trace(trace, prefix=f"{name}:"), log_stats
+                )
+            )
         merges += report.stats.merges
         attempts += report.stats.attempts
         mtup = [a + b for a, b in zip(mtup, report.stats.mtup)]
@@ -196,6 +211,26 @@ def build_suite_record(
 _EMPTY_FINGERPRINT = fingerprint_of(())
 
 
+def _log_stats_entry(freport) -> dict:
+    """Engine-side counters embedded in a function's decision log.
+
+    ``merges``/``mtup`` are only embedded for clean formations: a
+    failed-safe function was rolled back, so its counters describe the
+    aborted attempt while its events may have been truncated — the
+    validator's accepts==merges cross-check would be comparing different
+    things.  The stats fingerprint and attempt count always ride along.
+    """
+    stats = {
+        "attempts": freport.stats.attempts,
+        "stats_fingerprint": freport.stats.decision_fingerprint(),
+        "status": freport.status.value,
+    }
+    if freport.status.value == "ok":
+        stats["merges"] = freport.stats.merges
+        stats["mtup"] = list(freport.stats.mtup)
+    return stats
+
+
 def record_suite_run(
     subset: Optional[list[str]] = None,
     kind: str = "suite",
@@ -210,10 +245,19 @@ def record_suite_run(
     writes the record JSON to a standalone file (the form CI commits as
     a baseline under ``benchmarks/baselines/``).
     """
+    decision_logs: dict = {}
     record = build_suite_record(
-        subset=subset, kind=kind, label=label, bench_result=bench_result
+        subset=subset, kind=kind, label=label, bench_result=bench_result,
+        decision_logs=decision_logs,
     )
     ledger = Ledger(ledger_dir) if ledger_dir else Ledger()
+    # The flight-recorder log is persisted first so the run record can
+    # reference it by digest; the digest is deterministic (the log holds
+    # no timestamps or machine metadata), so identical runs — including
+    # cross-backend bit-identical ones — still dedupe in both stores.
+    record["decision_log"] = ledger.record_decisions(
+        build_log_set(decision_logs)
+    )
     digest = ledger.record(record)
     if out:
         with open(out, "w") as handle:
@@ -245,6 +289,11 @@ def summarize_record(record: dict, digest: str) -> str:
             if name in ("accept", "reject", "offer")
         ),
     ]
+    if record.get("decision_log"):
+        lines.append(
+            f"  decision log: {record['decision_log'][:12]} "
+            "(replay/bisect with `replay --run`)"
+        )
     if drifty:
         lines.append(
             "  non-ok functions: "

@@ -111,6 +111,36 @@ def _render_tree(trace: FormationTrace, events, depth: int, out: list[str]) -> N
         _render_tree(trace, trace.children(event.span_id), depth + 1, out)
 
 
+def explain_decision_data(trace: FormationTrace, hb: str, target: str) -> dict:
+    """Machine-readable ``--why``: the pair's event path and verdict.
+
+    The same selection as :func:`_explain_decision`, shaped for tooling
+    (``trace --why ... --json``): raw events via ``as_dict`` plus a
+    one-object verdict summary.
+    """
+    path = trace.decision_path(hb, target)
+    verdict = None
+    for event in path:
+        if event.name in _VERDICT_EVENTS:
+            verdict = event
+    data: dict = {
+        "hb": hb,
+        "target": target,
+        "found": bool(path),
+        "path": [event.as_dict() for event in path],
+    }
+    if verdict is None:
+        data["verdict"] = None
+    else:
+        summary = {"event": verdict.name}
+        for key in ("kind", "removed", "reason", "constraints",
+                    "violations", "estimate"):
+            if key in verdict.attrs:
+                summary[key] = verdict.attrs[key]
+        data["verdict"] = summary
+    return data
+
+
 def _explain_decision(trace: FormationTrace, hb: str, target: str) -> str:
     path = trace.decision_path(hb, target)
     if not path:
@@ -158,15 +188,48 @@ def run_trace(
     jsonl: Optional[str] = None,
     chrome: Optional[str] = None,
     dot: Optional[str] = None,
+    as_json: bool = False,
 ) -> str:
     """The ``trace`` verb: record, export, and render one formation run.
 
     ``dot`` is a filename prefix: each formed function is written to
     ``<prefix><function>.dot`` with hyperblocks striped by originating
     basic block (see :func:`repro.ir.dot.merge_provenance`), the visual
-    side of a drift report's before/after.
+    side of a drift report's before/after.  ``as_json`` renders the run
+    (and the ``--why`` explanation) as a JSON document instead of the
+    tree, with the decision stream in flight-recorder record form.
     """
     trace, report, _, module = record_formation_trace(workload, jsonl=jsonl)
+    if as_json:
+        import json as _json
+
+        from repro.obs.replay import log_from_trace
+
+        data: dict = {
+            "workload": workload,
+            "events": len(trace),
+            "dropped": trace.dropped,
+            "event_counts": trace.event_counts(),
+            "formation": {
+                name: {"status": str(status), "mtup": list(mtup)}
+                for name, (status, mtup) in report.summary().items()
+            },
+            "decisions": log_from_trace(trace),
+        }
+        if chrome:
+            write_chrome_trace(
+                trace.events, chrome, meta={"workload": workload}
+            )
+        if why:
+            try:
+                hb, target = (part.strip() for part in why.split(",", 1))
+            except ValueError:
+                raise SystemExit(
+                    f"--why wants 'HB,TARGET' (e.g. --why b0,b3), "
+                    f"got {why!r}"
+                )
+            data["why"] = explain_decision_data(trace, hb, target)
+        return _json.dumps(data, indent=2, sort_keys=True)
     lines = [
         f"trace: {workload}: {len(trace)} events"
         + (f" ({trace.dropped} dropped)" if trace.dropped else ""),
@@ -264,8 +327,49 @@ def slowest_trials(trace: FormationTrace, top: int) -> list[TraceEvent]:
     return trials[:top]
 
 
-def run_stats(workload: str, top: int = 10) -> str:
+def stats_data(workload: str, top: int = 10) -> dict:
+    """Machine-readable ``stats``: the same aggregates the table renders."""
+    trace, report, registry, _ = record_formation_trace(workload)
+    snapshot = registry.snapshot()
+    return {
+        "workload": workload,
+        "events": len(trace),
+        "event_counts": trace.event_counts(),
+        "slowest_trials": [
+            {
+                "function": event.attrs.get("function"),
+                "hb": event.attrs.get("hb"),
+                "target": event.attrs.get("target"),
+                "dur_s": event.dur,
+                "committed": bool(event.attrs.get("committed")),
+            }
+            for event in slowest_trials(trace, top)
+        ],
+        "rejections": rejection_breakdown(trace),
+        "phase_table_s": phase_table(trace),
+        "phase_histogram": list(
+            snapshot.get("formation_phase_seconds", ())
+        ),
+        "recovery_counters": {
+            name: entries
+            for name, entries in sorted(snapshot.items())
+            if name.endswith("_total")
+            and any(entry.get("value") for entry in entries)
+        },
+        "formation": {
+            name: {"status": str(status), "mtup": list(mtup)}
+            for name, (status, mtup) in report.summary().items()
+        },
+    }
+
+
+def run_stats(workload: str, top: int = 10, as_json: bool = False) -> str:
     """The ``stats`` verb: aggregate one traced formation run."""
+    if as_json:
+        import json as _json
+
+        return _json.dumps(stats_data(workload, top=top), indent=2,
+                           sort_keys=True)
     trace, report, registry, _ = record_formation_trace(workload)
     lines = [f"stats: {workload}: {len(trace)} events"]
 

@@ -38,6 +38,25 @@ from repro.obs.metrics import MetricsRegistry
 #: Content type mandated by the Prometheus text exposition spec.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: The build-info gauge name (value always 1; identity in the labels,
+#: the Prometheus ``*_build_info`` convention).
+BUILD_INFO_GAUGE = "formation_build_info"
+
+
+def publish_build_info(registry: MetricsRegistry, **labels) -> None:
+    """Set the ``formation_build_info`` gauge to 1 with identity labels.
+
+    Callers supply the labels (``ir_backend``, schema versions, python
+    version, ...) — this module, like the rest of ``repro.obs``, cannot
+    import the IR layer to discover them itself.  Scrapes join on the
+    labels to correlate any series with the build that produced it.
+    """
+    registry.set(
+        BUILD_INFO_GAUGE,
+        1,
+        **{key: str(value) for key, value in labels.items()},
+    )
+
 _LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
 
 

@@ -236,6 +236,15 @@ def validate_record(record: dict) -> None:
                 raise LedgerError(
                     f"function {name!r}: malformed decision entry {decision!r}"
                 )
+    # Optional since PR 10: the digest of the full decision log (flight
+    # recorder stream) persisted next to this record in the ledger's
+    # ``decisions/`` store.  Older records simply lack the field.
+    if "decision_log" in record and not isinstance(
+        record["decision_log"], str
+    ):
+        raise LedgerError(
+            "run record: field 'decision_log' must be a digest string"
+        )
 
 
 def validate_history_entry(entry: dict) -> None:
@@ -312,6 +321,18 @@ class Ledger:
     def index_path(self) -> str:
         return os.path.join(self.root, "index.jsonl")
 
+    @property
+    def decisions_dir(self) -> str:
+        """Content-addressed store of decision logs (flight recorder).
+
+        Lives next to ``runs/`` — run records reference a log by digest
+        via their optional ``decision_log`` field.  Logs are stored
+        separately because they are an order of magnitude larger than
+        records and deliberately hash-stable across machines/backends:
+        two bit-identical runs share one log file.
+        """
+        return os.path.join(self.root, "decisions")
+
     # -- writing ---------------------------------------------------------
 
     def record(self, record: dict) -> str:
@@ -339,7 +360,64 @@ class Ledger:
             handle.write("\n")
         return digest
 
+    def record_decisions(self, log_set: dict) -> str:
+        """Validate and persist a decision-log set; returns its digest.
+
+        Idempotent like :meth:`record`: identical logs (same decisions,
+        any backend/machine) share one file.
+        """
+        # Imported lazily: replay.py imports this module at load time.
+        from repro.obs.replay import log_digest, validate_log_set
+
+        validate_log_set(log_set)
+        digest = log_digest(log_set)
+        os.makedirs(self.decisions_dir, exist_ok=True)
+        path = os.path.join(self.decisions_dir, f"{digest}.json")
+        if not os.path.exists(path):
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(log_set, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        return digest
+
     # -- reading ---------------------------------------------------------
+
+    def resolve_decisions(self, ref: str) -> str:
+        """Resolve a (possibly abbreviated) decision-log digest."""
+        try:
+            names = os.listdir(self.decisions_dir)
+        except OSError:
+            names = []
+        matches = sorted(
+            name[:-5]
+            for name in names
+            if name.endswith(".json") and name.startswith(ref)
+        )
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise LedgerError(
+                f"no decision log matches {ref!r} in {self.root!r}"
+            )
+        raise LedgerError(
+            f"ambiguous decision-log reference {ref!r}: "
+            + ", ".join(m[:12] for m in matches)
+        )
+
+    def load_decisions(self, ref: str) -> dict:
+        """Load a decision log by digest prefix; validates on read."""
+        from repro.obs.replay import validate_log_set
+
+        digest = self.resolve_decisions(ref)
+        path = os.path.join(self.decisions_dir, f"{digest}.json")
+        try:
+            with open(path) as handle:
+                log_set = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise LedgerError(f"cannot read decision log {digest}: {exc}")
+        validate_log_set(log_set)
+        return log_set
 
     def entries(self) -> list[dict]:
         """Index lines, oldest first (empty for a fresh/missing ledger)."""

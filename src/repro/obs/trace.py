@@ -117,6 +117,8 @@ class _Span:
         self.parent_id = stack[-1] if stack else None
         stack.append(self.span_id)
         tracer._names.append(self.name)
+        if tracer.memprof is not None and self.name in PHASE_SPANS:
+            tracer.memprof.enter_phase(self.name)
         self._t0 = tracer.clock()
         return self
 
@@ -140,8 +142,11 @@ class _Span:
                 attrs=self.attrs,
             )
         )
-        if self.name in PHASE_SPANS and tracer.metrics is not None:
-            tracer.metrics.observe(PHASE_HISTOGRAM, dur, phase=self.name)
+        if self.name in PHASE_SPANS:
+            if tracer.metrics is not None:
+                tracer.metrics.observe(PHASE_HISTOGRAM, dur, phase=self.name)
+            if tracer.memprof is not None:
+                tracer.memprof.exit_phase(self.name)
 
 
 class Tracer:
@@ -161,6 +166,11 @@ class Tracer:
     ):
         self.sinks = tuple(sinks) if sinks else (MemorySink(),)
         self.metrics = metrics
+        # Optional PhaseMemoryProfiler (repro.obs.memprof): when set,
+        # phase-span enter/exit notify it so allocations are charged to
+        # the active formation phase.  Assigned post-construction by the
+        # bench's --mem-profile pass; None costs one attribute check.
+        self.memprof = None
         self.clock = clock
         self.epoch = clock()
         self._stack: list[int] = []

@@ -382,6 +382,11 @@ class TrialGuard:
             self.blacklist.add((func.name, hb_name, cand_name))
             checkpoint.restore(ctx)
             if tracer is not None:
+                # Version stamps are read *after* restore, so the instant
+                # records the block versions now live in the function —
+                # the timeline anchor a replay-divergence dump links to.
+                # Stamps are process-unique, which is why they live here
+                # in the trace and never in the decision log itself.
                 tracer.event(
                     "guard_restore",
                     function=func.name,
@@ -389,6 +394,12 @@ class TrialGuard:
                     target=cand_name,
                     error_type=type(exc).__name__,
                     error=str(exc)[:200],
+                    hb_version=checkpoint.hb_copy.version,
+                    target_version=(
+                        checkpoint.cand_copy.version
+                        if checkpoint.cand_copy is not None
+                        else None
+                    ),
                 )
                 tracer.event(
                     "guard_blacklist",

@@ -8,10 +8,12 @@ import urllib.request
 import pytest
 
 from repro.obs.expo import (
+    BUILD_INFO_GAUGE,
     PROMETHEUS_CONTENT_TYPE,
     MetricsServer,
     expose_registry,
     parse_prometheus,
+    publish_build_info,
     render_prometheus,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -113,6 +115,21 @@ def test_http_server_scrape_sees_live_updates():
         with urllib.request.urlopen(server.url + "/metrics") as response:
             body = response.read().decode()
         assert "formation_merges_total 5" in body
+
+
+def test_build_info_gauge_carries_identity_labels():
+    registry = MetricsRegistry()
+    publish_build_info(
+        registry, ir_backend="arena", record_schema=3,
+        decision_log_schema=1, python="3.12.1",
+    )
+    samples = parse_prometheus(render_prometheus(registry.snapshot()))
+    ((labels, value),) = samples[BUILD_INFO_GAUGE]
+    assert value == 1
+    assert labels["ir_backend"] == "arena"
+    # Non-string label values are stringified for the exposition.
+    assert labels["decision_log_schema"] == "1"
+    assert labels["python"] == "3.12.1"
 
 
 def test_snapshot_failure_yields_empty_scrape_not_error():
